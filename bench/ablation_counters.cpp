@@ -1,0 +1,52 @@
+// Ablation: access-counter design choices (paper §IV).
+//  (a) counter granularity — 64 KB basic block (the paper's optimization)
+//      vs 4 KB page;
+//  (b) counter maintenance — historic local+remote counts (the framework)
+//      vs Volta remote-only counts for the Always scheme;
+//  (c) write handling under Adaptive — dynamic threshold (default) vs
+//      Volta forced write-migration.
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  print_header("Ablation: access-counter design choices (125% oversub)",
+               "each column normalized to the same workload's Baseline run");
+  print_row_header({"adpt/64K", "adpt/4K", "alwys/volta", "alwys/hist", "adpt/wr-td",
+                    "adpt/wr-mig"});
+
+  for (const auto& name : workload_names()) {
+    const auto base = static_cast<double>(
+        run(name, make_cfg(PolicyKind::kFirstTouch), 1.25).stats.kernel_cycles);
+    std::vector<double> row;
+
+    // (a) counter granularity under Adaptive.
+    for (const std::uint64_t gran : {kBasicBlockSize, kPageSize}) {
+      SimConfig cfg = make_cfg(PolicyKind::kAdaptive);
+      cfg.mem.counter_granularity = gran;
+      row.push_back(static_cast<double>(run(name, cfg, 1.25).stats.kernel_cycles) / base);
+    }
+    // (b) counter maintenance under Always.
+    for (const bool historic : {false, true}) {
+      SimConfig cfg = make_cfg(PolicyKind::kStaticAlways);
+      cfg.policy.historic_counters_override = historic;
+      row.push_back(static_cast<double>(run(name, cfg, 1.25).stats.kernel_cycles) / base);
+    }
+    // (c) write handling under Adaptive.
+    for (const bool write_migrates : {false, true}) {
+      SimConfig cfg = make_cfg(PolicyKind::kAdaptive);
+      cfg.policy.adaptive_write_migrates = write_migrates;
+      row.push_back(static_cast<double>(run(name, cfg, 1.25).stats.kernel_cycles) / base);
+    }
+    print_row(name, row);
+  }
+
+  std::printf(
+      "\nReading: 4 KB counters refine hot/cold separation slightly at 16x\n"
+      "the register cost; historic counts neutralize the Always scheme (old\n"
+      "counts stay above ts, so delayed migration degenerates to first\n"
+      "touch); forcing write-migration under Adaptive erases much of the\n"
+      "benefit on write-containing irregular workloads.\n");
+  return 0;
+}

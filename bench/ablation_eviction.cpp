@@ -1,0 +1,49 @@
+// Ablation: LRU vs access-counter LFU eviction under each migration policy
+// at 125 % oversubscription. The paper pairs Baseline with LRU and the
+// counter-based schemes with its LFU; this bench separates the two choices.
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  print_header("Ablation: eviction policy x migration policy (125% oversub)",
+               "runtime normalized to first-touch + LRU");
+
+  const std::vector<std::pair<std::string, PolicyKind>> policies{
+      {"baseline", PolicyKind::kFirstTouch},
+      {"always", PolicyKind::kStaticAlways},
+      {"adaptive", PolicyKind::kAdaptive},
+  };
+
+  for (const auto& name : workload_names()) {
+    SimConfig ref_cfg = make_cfg(PolicyKind::kFirstTouch);
+    ref_cfg.mem.eviction = EvictionKind::kLru;
+    const auto ref =
+        static_cast<double>(run(name, ref_cfg, 1.25).stats.kernel_cycles);
+
+    std::printf("%-10s", name.c_str());
+    for (const auto& [label, kind] : policies) {
+      for (const EvictionKind ev :
+           {EvictionKind::kLru, EvictionKind::kLfu, EvictionKind::kTree}) {
+        SimConfig cfg = make_cfg(kind);
+        cfg.mem.eviction = ev;
+        const RunResult r = run(name, cfg, 1.25);
+        const char* ev_name = ev == EvictionKind::kLru   ? "lru"
+                              : ev == EvictionKind::kLfu ? "lfu"
+                                                         : "tree";
+        std::printf(" %s/%s=%6.2f", label.c_str(), ev_name,
+                    static_cast<double>(r.stats.kernel_cycles) / ref);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: tree eviction (ISCA'19) evicts subtree-granularity victims\n"
+      "around the LRU block instead of whole large pages. The LFU gain\n"
+      "concentrates where hot/cold frequency splits exist (irregular\n"
+      "workloads); under uniform frequencies LFU falls back to LRU order, so\n"
+      "regular workloads are unaffected by the choice.\n");
+  return 0;
+}

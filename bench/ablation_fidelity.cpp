@@ -1,0 +1,39 @@
+// Ablation: simulator fidelity knobs — the optional L2 cache model and the
+// eviction protect window. Verifies the headline conclusions are not
+// artifacts of either simplification.
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  print_header("Ablation: fidelity knobs (125% oversubscription)",
+               "adaptive/baseline runtime ratio under each model variant");
+  print_row_header({"default", "with-L2", "no-protect"});
+
+  for (const auto& name : {"fdtd", "bfs", "ra", "sssp"}) {
+    std::vector<double> row;
+    for (int variant = 0; variant < 3; ++variant) {
+      SimConfig base = make_cfg(PolicyKind::kFirstTouch);
+      SimConfig adaptive = make_cfg(PolicyKind::kAdaptive);
+      if (variant == 1) {
+        base.gpu.l2.enabled = true;
+        adaptive.gpu.l2.enabled = true;
+      } else if (variant == 2) {
+        base.mem.eviction_protect_cycles = 0;
+        adaptive.mem.eviction_protect_cycles = 0;
+      }
+      const RunResult b = run(name, base, 1.25);
+      const RunResult a = run(name, adaptive, 1.25);
+      row.push_back(static_cast<double>(a.stats.kernel_cycles) /
+                    static_cast<double>(b.stats.kernel_cycles));
+    }
+    print_row(name, row);
+  }
+
+  std::printf(
+      "\nReading: the adaptive-vs-baseline conclusion must hold (ratio < 1 on\n"
+      "irregular, ~1 on regular) whether or not an L2 absorbs short reuse and\n"
+      "whether or not recently used chunks are shielded from eviction.\n");
+  return 0;
+}

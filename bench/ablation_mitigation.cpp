@@ -1,0 +1,39 @@
+// Ablation: the state-of-practice per-block thrash throttling (nvidia-uvm
+// style, paper §I) vs the paper's adaptive framework, at 125 %
+// oversubscription. Quantifies how much of the adaptive win plain
+// throttling recovers — and where each approach leaves performance behind.
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  print_header("Ablation: thrash throttling vs adaptive framework (125% oversub)",
+               "runtime normalized to the unmitigated Baseline");
+  print_row_header({"Baseline", "throttle", "Adaptive", "thr_remote"});
+
+  for (const auto& name : workload_names()) {
+    const RunResult base = run(name, make_cfg(PolicyKind::kFirstTouch), 1.25);
+    SimConfig throttled = make_cfg(PolicyKind::kFirstTouch);
+    throttled.mitigation.enabled = true;
+    const RunResult mitigated = run(name, throttled, 1.25);
+    const RunResult adaptive = run(name, make_cfg(PolicyKind::kAdaptive), 1.25);
+
+    const auto b = static_cast<double>(base.stats.kernel_cycles);
+    print_row(name,
+              {1.0, static_cast<double>(mitigated.stats.kernel_cycles) / b,
+               static_cast<double>(adaptive.stats.kernel_cycles) / b,
+               static_cast<double>(mitigated.stats.remote_accesses > 0
+                                       ? mitigated.stats.remote_accesses
+                                       : 0)});
+  }
+
+  std::printf(
+      "\nReading: per-block pinning recovers much of the thrash cost on the\n"
+      "extreme workloads (it converges to hard host-pinning, the p=2^20\n"
+      "configuration of Fig 8), but it is reactive — each block must thrash\n"
+      "several times before being pinned — and page-wise throttling forfeits\n"
+      "bulk prefetching, which is the paper's §I criticism of this approach.\n"
+      "The adaptive framework reaches similar or better points proactively.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: prefetcher choice under the Baseline driver, with the working
+// set fitting and at 125 % oversubscription. Reproduces the paper's §III-A
+// observation that the (otherwise superior) tree prefetcher turns
+// counter-productive under memory pressure on irregular workloads.
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  const std::vector<std::pair<std::string, PrefetcherKind>> prefetchers{
+      {"none", PrefetcherKind::kNone},
+      {"seq", PrefetcherKind::kSequential},
+      {"rand", PrefetcherKind::kRandom},
+      {"tree", PrefetcherKind::kTree},
+  };
+
+  for (const double oversub : {0.0, 1.25}) {
+    print_header(oversub == 0.0
+                     ? "Ablation: prefetchers, working set fits"
+                     : "Ablation: prefetchers, 125% oversubscription",
+                 "Baseline driver; runtime normalized to the no-prefetch run");
+    std::printf("%-10s", "workload");
+    for (const auto& [label, _] : prefetchers) std::printf(" %10s", label.c_str());
+    std::printf(" %12s\n", "tree_pref_MB");
+
+    for (const auto& name : workload_names()) {
+      std::printf("%-10s", name.c_str());
+      double ref = 0;
+      std::uint64_t tree_pref_bytes = 0;
+      for (const auto& [label, kind] : prefetchers) {
+        SimConfig cfg = make_cfg(PolicyKind::kFirstTouch);
+        cfg.mem.prefetcher = kind;
+        const RunResult r = run(name, cfg, oversub);
+        const auto cycles = static_cast<double>(r.stats.kernel_cycles);
+        if (kind == PrefetcherKind::kNone) ref = cycles;
+        if (kind == PrefetcherKind::kTree) {
+          tree_pref_bytes = r.stats.blocks_prefetched * kBasicBlockSize;
+        }
+        std::printf(" %10.2f", cycles / ref);
+      }
+      std::printf(" %12.1f\n", static_cast<double>(tree_pref_bytes) / (1 << 20));
+    }
+  }
+
+  std::printf(
+      "\nReading: with the working set fitting, the tree prefetcher is the\n"
+      "best choice across the board (fewer far-faults, bulk transfers);\n"
+      "under oversubscription its aggressive pulls evict useful data on the\n"
+      "irregular workloads and the advantage shrinks or reverses.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension experiment: programmer-agnostic vs hand-tuned. The paper's
+// central pitch is that the adaptive framework removes the need for
+// cudaMemAdvise-style hints derived from intrusive profiling (§I, §III-C).
+// Here an "oracle" programmer pins exactly the cold allocations of each
+// irregular workload with the AccessedBy hint (permanent zero-copy mapping)
+// and we check how close the hint-free adaptive scheme gets.
+#include <map>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+// The cold allocations per workload — knowledge the oracle has from
+// profiling (Fig 2) and that the adaptive scheme must discover online.
+const std::map<std::string, std::vector<std::string>>& oracle_cold_sets() {
+  static const std::map<std::string, std::vector<std::string>> sets{
+      {"bfs", {"graph_edges"}},
+      {"nw", {"reference"}},
+      {"ra", {"update_table"}},
+      {"sssp", {"graph_edges", "edge_weights"}},
+  };
+  return sets;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Extension: oracle cudaMemAdvise hints vs adaptive (125% oversub)",
+               "runtime normalized to Baseline; oracle pins the cold data zero-copy");
+  print_row_header({"Baseline", "oracle-hints", "Adaptive"});
+
+  WorkloadParams params;
+  params.scale = kScale;
+
+  for (const auto& [name, cold] : oracle_cold_sets()) {
+    const RunResult base = run(name, make_cfg(PolicyKind::kFirstTouch), 1.25);
+
+    // Oracle: baseline driver + hand-placed AccessedBy hints.
+    SimConfig oracle_cfg = make_cfg(PolicyKind::kFirstTouch);
+    oracle_cfg.mem.oversubscription = 1.25;
+    auto wl = make_workload(name, params);
+    Simulator oracle_sim(oracle_cfg);
+    oracle_sim.set_advice_hook([&](AddressSpace& space) {
+      for (const auto& alloc : cold) {
+        if (!space.advise(alloc, MemAdvice::kAccessedBy)) {
+          std::fprintf(stderr, "no allocation named %s in %s\n", alloc.c_str(),
+                       name.c_str());
+        }
+      }
+    });
+    const RunResult oracle = oracle_sim.run(*wl);
+
+    const RunResult adaptive = run(name, make_cfg(PolicyKind::kAdaptive), 1.25);
+
+    const auto b = static_cast<double>(base.stats.kernel_cycles);
+    print_row(name, {1.0, static_cast<double>(oracle.stats.kernel_cycles) / b,
+                     static_cast<double>(adaptive.stats.kernel_cycles) / b});
+  }
+
+  std::printf(
+      "\nReading: the hint-free adaptive scheme should approach the oracle's\n"
+      "hand-tuned placement — the paper's value proposition. Where adaptive\n"
+      "beats the oracle, the workload's \"cold\" data had enough hot spots\n"
+      "that migrating them (which a blanket hint forbids) pays off.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 3: page access pattern over time across iterations — fdtd repeats
+// the same dense sequential sweep every iteration; sssp kernel1 is sparse
+// and drifts across the address space between rounds while kernel2 stays
+// dense and sequential. Prints per-launch summaries and writes the sampled
+// (cycle, page) series to CSV.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "harness.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+struct LaunchSummary {
+  std::string kernel;
+  std::uint64_t samples = 0;
+  std::set<PageNum> pages;
+  PageNum min_page = ~PageNum{0};
+  PageNum max_page = 0;
+};
+
+void characterize(const std::string& name) {
+  WorkloadParams params;
+  params.scale = kScale;
+  SimConfig cfg = make_cfg(PolicyKind::kFirstTouch);
+  cfg.collect_traces = true;
+
+  TimeSeriesSampler ts(/*stride=*/32);
+  auto wl = make_workload(name, params);
+  Simulator sim(cfg);
+  sim.set_trace_sink(&ts);
+  (void)sim.run(*wl);
+
+  std::map<std::uint32_t, LaunchSummary> launches;
+  for (const auto& s : ts.samples()) {
+    auto& l = launches[s.launch];
+    l.samples++;
+    l.pages.insert(s.page);
+    l.min_page = std::min(l.min_page, s.page);
+    l.max_page = std::max(l.max_page, s.page);
+  }
+
+  std::printf("\n%s: sampled access pattern per kernel launch\n", name.c_str());
+  std::printf("%-8s %-14s %9s %10s %10s %10s %9s\n", "launch", "kernel", "samples",
+              "pages", "min_page", "max_page", "density");
+  for (auto& [idx, l] : launches) {
+    l.kernel = idx < ts.launch_names().size() ? ts.launch_names()[idx] : "?";
+    const double span = static_cast<double>(l.max_page - l.min_page + 1);
+    std::printf("%-8u %-14s %9llu %10zu %10llu %10llu %8.1f%%\n", idx, l.kernel.c_str(),
+                static_cast<unsigned long long>(l.samples), l.pages.size(),
+                static_cast<unsigned long long>(l.min_page),
+                static_cast<unsigned long long>(l.max_page),
+                100.0 * static_cast<double>(l.pages.size()) / span);
+  }
+
+  const std::string csv = "fig3_" + name + "_timeseries.csv";
+  std::ofstream out(csv);
+  ts.write_csv(out);
+  std::printf("sampled (cycle,page) series written to %s\n", csv.c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 3: access pattern over iterations",
+               "fdtd iterations repeat; sssp kernel1 is sparse, kernel2 dense");
+  characterize("fdtd");
+  characterize("sssp");
+  std::printf(
+      "\nExpected shape (paper Fig 3): fdtd launches cover their arrays densely\n"
+      "and identically across iterations; sssp kernel1 touches a sparse subset\n"
+      "that varies between rounds, kernel2 scans the status arrays densely.\n");
+  return 0;
+}

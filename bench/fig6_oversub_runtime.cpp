@@ -1,0 +1,48 @@
+// Figure 6: runtime under 125 % oversubscription — Baseline (Disabled) vs
+// Always vs Oversub vs Adaptive (ts = 8, p = 8), normalized to Baseline.
+// The paper's headline result: Adaptive improves irregular workloads by
+// 22 % (bfs) to 78 % (ra) while leaving regular workloads untouched.
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  print_header("Figure 6: runtime at 125% oversubscription (ts=8, p=8)",
+               "normalized to Baseline (first-touch + LRU)");
+  print_row_header({"Baseline", "Always", "Oversub", "Adaptive"});
+
+  Table csv({"workload", "baseline", "always", "oversub", "adaptive"});
+  for (const auto& name : workload_names()) {
+    const RunResult base = run(name, make_cfg(PolicyKind::kFirstTouch), 1.25);
+    const RunResult always = run(name, make_cfg(PolicyKind::kStaticAlways), 1.25);
+    const RunResult oversub = run(name, make_cfg(PolicyKind::kStaticOversub), 1.25);
+    const RunResult adaptive = run(name, make_cfg(PolicyKind::kAdaptive), 1.25);
+    const auto b = static_cast<double>(base.stats.kernel_cycles);
+    const double va = static_cast<double>(always.stats.kernel_cycles) / b;
+    const double vo = static_cast<double>(oversub.stats.kernel_cycles) / b;
+    const double vd = static_cast<double>(adaptive.stats.kernel_cycles) / b;
+    print_row(name, {1.0, va, vo, vd});
+    csv.row().cell(name).cell(1.0).cell(va).cell(vo).cell(vd);
+  }
+  save_csv(csv, "fig6_oversub_runtime.csv");
+
+  print_paper_reference(
+      "Fig 6 (simulator)",
+      {
+          {"backprop", {1.0, 0.9962, 1.0002, 1.0050}},
+          {"fdtd", {1.0, 1.0068, 1.0052, 1.0077}},
+          {"hotspot", {1.0, 0.9204, 0.9946, 1.0022}},
+          {"srad", {1.0, 1.0004, 1.0000, 1.0001}},
+          {"bfs", {1.0, 0.8015, 0.9064, 0.7821}},
+          {"nw", {1.0, 1.0050, 0.9868, 0.6718}},
+          {"ra", {1.0, 0.2437, 1.0000, 0.2177}},
+          {"sssp", {1.0, 0.7462, 0.7612, 0.4021}},
+      },
+      {"Baseline", "Always", "Oversub", "Adaptive"});
+  std::printf(
+      "\nExpected shape: regular ~= 1.00 under every scheme; Adaptive is the\n"
+      "best (or tied best) scheme on every irregular workload, 22-78%% faster\n"
+      "than Baseline.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 8: sensitivity of the Adaptive scheme to the multiplicative
+// migration penalty p at 125 % oversubscription, normalized to Baseline.
+// p = 1048576 approximates hard host-pinning (pure zero-copy).
+#include "harness.hpp"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  print_header("Figure 8: sensitivity to the multiplicative migration penalty",
+               "Adaptive at 125% oversubscription, normalized to Baseline");
+  print_row_header({"Baseline", "p=2", "p=4", "p=8", "p=1048576"});
+
+  Table csv({"workload", "baseline", "p2", "p4", "p8", "p1048576"});
+  for (const auto& name : workload_names()) {
+    const RunResult base = run(name, make_cfg(PolicyKind::kFirstTouch), 1.25);
+    const auto b = static_cast<double>(base.stats.kernel_cycles);
+    std::vector<double> row{1.0};
+    for (const std::uint64_t p : {2ull, 4ull, 8ull, 1048576ull}) {
+      const RunResult r = run(name, make_cfg(PolicyKind::kAdaptive, 8, p), 1.25);
+      row.push_back(static_cast<double>(r.stats.kernel_cycles) / b);
+    }
+    print_row(name, row);
+    csv.row().cell(name);
+    for (const double v : row) csv.cell(v);
+  }
+  save_csv(csv, "fig8_penalty_sensitivity.csv");
+
+  print_paper_reference(
+      "Fig 8 (simulator)",
+      {
+          {"backprop", {1.0, 1.0008, 1.0022, 1.0050, 1.7407}},
+          {"fdtd", {1.0, 1.0027, 0.9994, 1.0077, 0.9073}},
+          {"hotspot", {1.0, 0.9998, 1.0237, 1.0022, 1.3965}},
+          {"srad", {1.0, 1.0001, 1.0001, 1.0001, 2.3838}},
+          {"bfs", {1.0, 0.8360, 0.7872, 0.7821, 1.0020}},
+          {"nw", {1.0, 0.9229, 0.8419, 0.6718, 0.0604}},
+          {"ra", {1.0, 0.2903, 0.1951, 0.2177, 0.1355}},
+          {"sssp", {1.0, 0.6446, 0.5135, 0.4021, 0.2855}},
+      },
+      {"Baseline", "p=2", "p=4", "p=8", "p=1048576"});
+  std::printf(
+      "\nExpected shape: regular workloads are flat for p in 2..8 but suffer\n"
+      "under extreme pinning (dense access over PCIe); irregular workloads\n"
+      "improve monotonically with p in 2..8.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Policy explorer: sweep the two driver module parameters (ts, p) for one
+// workload and print a runtime heat map — the tuning view a driver engineer
+// would use before picking defaults.
+//
+// Usage: policy_explorer [workload] [oversub]
+//   workload: backprop|fdtd|hotspot|srad|bfs|nw|ra|sssp (default: sssp)
+//   oversub:  working-set / device-capacity factor (default: 1.25)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <uvmsim/uvmsim.hpp>
+
+int main(int argc, char** argv) {
+  using namespace uvmsim;
+
+  const std::string workload = argc > 1 ? argv[1] : "sssp";
+  const double oversub = argc > 2 ? std::atof(argv[2]) : 1.25;
+
+  WorkloadParams params;
+  params.scale = 0.25;
+
+  // Baseline reference.
+  SimConfig base_cfg;
+  const RunResult base = run_workload(workload, base_cfg, oversub, params);
+  const auto base_cycles = static_cast<double>(base.stats.kernel_cycles);
+  std::printf("%s at %.0f%% oversubscription — baseline %.2f ms\n", workload.c_str(),
+              oversub > 0 ? oversub * 100 : 100.0, base.kernel_ms(base_cfg.gpu.core_clock_ghz));
+
+  const std::vector<std::uint32_t> ts_values{4, 8, 16, 32};
+  const std::vector<std::uint64_t> p_values{1, 2, 4, 8, 16};
+
+  std::printf("\nAdaptive runtime normalized to baseline (rows ts, cols p):\n");
+  std::printf("%8s", "ts\\p");
+  for (const auto p : p_values) std::printf(" %9llu", static_cast<unsigned long long>(p));
+  std::printf("\n");
+
+  double best = 1e300;
+  std::uint32_t best_ts = 0;
+  std::uint64_t best_p = 0;
+  for (const auto ts : ts_values) {
+    std::printf("%8u", ts);
+    for (const auto p : p_values) {
+      SimConfig cfg;
+      cfg.policy.policy = PolicyKind::kAdaptive;
+      cfg.policy.static_threshold = ts;
+      cfg.policy.migration_penalty = p;
+      cfg.mem.eviction = EvictionKind::kLfu;
+      const RunResult r = run_workload(workload, cfg, oversub, params);
+      const double norm = static_cast<double>(r.stats.kernel_cycles) / base_cycles;
+      std::printf(" %9.3f", norm);
+      if (norm < best) {
+        best = norm;
+        best_ts = ts;
+        best_p = p;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nbest: ts=%u, p=%llu -> %.3fx of baseline\n", best_ts,
+              static_cast<unsigned long long>(best_p), best);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "core/allocation_profile.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/uvm_driver.hpp"
+
+namespace uvmsim {
+
+std::string to_string(AllocationClass c) {
+  switch (c) {
+    case AllocationClass::kUntouched: return "untouched";
+    case AllocationClass::kCold: return "cold";
+    case AllocationClass::kHot: return "hot";
+  }
+  return "?";
+}
+
+std::vector<AllocationProfile> classify_allocations(const UvmDriver& driver) {
+  const AddressSpace& space = driver.blocks().space();
+  const AccessCounterTable& counters = driver.counters();
+  const BlockTable& table = driver.blocks();
+
+  std::vector<AllocationProfile> out;
+  out.reserve(space.num_allocations());
+
+  double total_accesses = 0.0;
+  double total_kb = 0.0;
+  for (const Allocation& a : space.allocations()) {
+    AllocationProfile p;
+    p.name = a.name;
+    p.bytes = a.padded_size;
+    p.access_count = counters.range_count(a.base, a.padded_size);
+    const BlockNum first = block_of(a.base);
+    const BlockNum end = first + a.padded_size / kBasicBlockSize;
+    for (BlockNum b = first; b < end; ++b) {
+      const BlockState& s = table.block(b);
+      if (s.residence == Residence::kDevice) p.resident_bytes += kBasicBlockSize;
+      p.written |= s.written_ever;
+      p.max_round_trips = std::max(p.max_round_trips, s.round_trips);
+    }
+    p.accesses_per_kb =
+        static_cast<double>(p.access_count) / (static_cast<double>(p.bytes) / 1024.0);
+    total_accesses += static_cast<double>(p.access_count);
+    total_kb += static_cast<double>(p.bytes) / 1024.0;
+    out.push_back(std::move(p));
+  }
+
+  const double avg_density = total_kb == 0.0 ? 0.0 : total_accesses / total_kb;
+  for (AllocationProfile& p : out) {
+    if (p.access_count == 0) {
+      p.classification = AllocationClass::kUntouched;
+    } else if (avg_density > 0.0 && p.accesses_per_kb >= 0.5 * avg_density) {
+      p.classification = AllocationClass::kHot;
+    } else {
+      p.classification = AllocationClass::kCold;
+    }
+  }
+  return out;
+}
+
+std::string format_profiles(const std::vector<AllocationProfile>& profiles) {
+  std::ostringstream os;
+  os << std::left << std::setw(18) << "allocation" << std::right << std::setw(10) << "MB"
+     << std::setw(10) << "res-MB" << std::setw(14) << "accesses" << std::setw(12)
+     << "acc/KB" << std::setw(8) << "trips" << std::setw(9) << "written" << std::setw(11)
+     << "class" << '\n';
+  for (const AllocationProfile& p : profiles) {
+    os << std::left << std::setw(18) << p.name << std::right << std::fixed
+       << std::setprecision(1) << std::setw(10)
+       << static_cast<double>(p.bytes) / (1 << 20) << std::setw(10)
+       << static_cast<double>(p.resident_bytes) / (1 << 20) << std::setw(14)
+       << p.access_count << std::setw(12) << std::setprecision(1) << p.accesses_per_kb
+       << std::setw(8) << p.max_round_trips << std::setw(9) << (p.written ? "yes" : "no")
+       << std::setw(11) << to_string(p.classification) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,104 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/uvm_driver.hpp"
+#include "gpu/gpu_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace uvmsim {
+
+Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
+
+RunResult Simulator::run(Workload& workload) {
+  AddressSpace space;
+  workload.build(space);
+  if (space.num_allocations() == 0)
+    throw std::invalid_argument("Simulator: workload declared no allocations");
+  if (advice_hook_) advice_hook_(space);
+
+  std::uint64_t capacity = cfg_.mem.device_capacity_bytes;
+  if (cfg_.mem.oversubscription > 0.0) {
+    const auto raw = static_cast<std::uint64_t>(
+        static_cast<double>(space.footprint_bytes()) / cfg_.mem.oversubscription);
+    capacity = std::max<std::uint64_t>(kLargePageSize, raw / kLargePageSize * kLargePageSize);
+  }
+
+  EventQueue queue;
+  SimStats stats;
+  UvmDriver driver(cfg_, space, capacity, queue, stats);
+  GpuModel gpu(cfg_, queue, driver, stats);
+  if (cfg_.collect_traces && trace_ != nullptr) driver.set_trace_sink(trace_);
+
+  const auto launches = workload.schedule();
+  if (launches.empty()) throw std::invalid_argument("Simulator: empty launch schedule");
+
+  RunResult result;
+  result.footprint_bytes = space.footprint_bytes();
+  result.capacity_bytes = capacity;
+  result.kernels.reserve(launches.size());
+
+  // Chain launches: each completion starts the next kernel.
+  // Periodic driver-state sampling; stops once the queue has nothing else.
+  std::function<void()> sample;
+  if (timeline_ != nullptr) {
+    sample = [&]() {
+      timeline_->add(TimelineSample{queue.now(), driver.device().used_blocks(),
+                                    driver.device().capacity_blocks(), stats.far_faults,
+                                    stats.remote_accesses, stats.pages_thrashed,
+                                    stats.bytes_h2d, stats.bytes_d2h});
+      if (queue.pending() > 0) queue.schedule_in(timeline_interval_, sample);
+    };
+    queue.schedule_in(0, sample);
+  }
+
+  std::size_t next = 0;
+  std::function<void()> launch_next = [&]() {
+    if (next >= launches.size()) return;
+    const std::size_t i = next++;
+    const Kernel& k = *launches[i];
+    if (trace_ != nullptr) trace_->on_kernel_begin(static_cast<std::uint32_t>(i), k.name());
+    result.kernels.push_back(KernelStat{k.name(), queue.now(), 0});
+    gpu.launch(k, [&, i] {
+      result.kernels[i].end = queue.now();
+      const Cycle overhead = cfg_.launch_overhead_cycles();
+      if (overhead > 0 && next < launches.size()) {
+        queue.schedule_in(overhead, launch_next);
+      } else {
+        launch_next();
+      }
+    });
+  };
+  if (cfg_.copy_then_execute) {
+    // Bulk-transfer the whole working set, then start the kernel chain.
+    driver.preload_all([&](Cycle done) {
+      result.preload_cycles = done;
+      launch_next();
+    });
+  } else {
+    launch_next();
+  }
+  queue.run();
+
+  if (result.kernels.size() != launches.size() || result.kernels.back().end == 0)
+    throw std::logic_error("Simulator: schedule did not run to completion");
+  if (!driver.idle())
+    throw std::logic_error("Simulator: driver left outstanding work after drain");
+
+  stats.total_cycles = queue.now();
+  for (const KernelStat& k : result.kernels) stats.kernel_cycles += k.duration();
+  result.stats = stats;
+  result.allocations = classify_allocations(driver);
+  return result;
+}
+
+RunResult run_workload(const std::string& workload_name, SimConfig cfg, double oversub,
+                       const WorkloadParams& params) {
+  cfg.mem.oversubscription = oversub;
+  auto wl = make_workload(workload_name, params);
+  Simulator sim(cfg);
+  return sim.run(*wl);
+}
+
+}  // namespace uvmsim

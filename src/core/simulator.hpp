@@ -1,0 +1,90 @@
+// Simulator facade: builds the workload's address space, derives the device
+// capacity (optionally from an oversubscription factor), wires driver + GPU,
+// plays the kernel launch sequence to completion, and returns the results.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation_profile.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+#include "trace/timeline.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+struct KernelStat {
+  std::string name;
+  Cycle start = 0;
+  Cycle end = 0;
+  [[nodiscard]] Cycle duration() const noexcept { return end - start; }
+};
+
+struct RunResult {
+  SimStats stats;
+  std::vector<KernelStat> kernels;
+  std::uint64_t footprint_bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+  /// Upfront bulk-transfer time (copy-then-execute mode only).
+  Cycle preload_cycles = 0;
+  /// Per-allocation hot/cold classification derived from the driver's
+  /// access counters at the end of the run (paper §IV).
+  std::vector<AllocationProfile> allocations;
+
+  /// Total kernel execution time — the paper's runtime metric.
+  [[nodiscard]] Cycle kernel_cycles() const noexcept { return stats.kernel_cycles; }
+  [[nodiscard]] double kernel_ms(double core_clock_ghz) const noexcept {
+    return static_cast<double>(stats.kernel_cycles) / (core_clock_ghz * 1e6);
+  }
+  [[nodiscard]] double oversubscription() const noexcept {
+    return capacity_bytes == 0
+               ? 0.0
+               : static_cast<double>(footprint_bytes) / static_cast<double>(capacity_bytes);
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig cfg);
+
+  /// Optional tracing (Fig 2/3 harnesses). The sink must outlive run().
+  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
+
+  /// Optional periodic state sampling every `interval` cycles. The timeline
+  /// must outlive run(). Sampling stops automatically when the event queue
+  /// drains.
+  void set_timeline(Timeline* timeline, Cycle interval = 100000) noexcept {
+    timeline_ = timeline;
+    timeline_interval_ = interval;
+  }
+
+  /// Optional hook invoked after the workload builds its allocations —
+  /// the place to attach cudaMemAdvise-style hints (oracle experiments).
+  using AdviceHook = std::function<void(AddressSpace&)>;
+  void set_advice_hook(AdviceHook hook) { advice_hook_ = std::move(hook); }
+
+  /// Run `workload` to completion and return the collected results.
+  [[nodiscard]] RunResult run(Workload& workload);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  TraceSink* trace_ = nullptr;
+  Timeline* timeline_ = nullptr;
+  Cycle timeline_interval_ = 100000;
+  AdviceHook advice_hook_;
+};
+
+/// Convenience: build + run a named workload at a given oversubscription.
+/// `oversub` <= 0 keeps the configured capacity; otherwise capacity =
+/// footprint / oversub. Used by every experiment harness.
+[[nodiscard]] RunResult run_workload(const std::string& workload_name, SimConfig cfg,
+                                     double oversub, const WorkloadParams& params = {});
+
+}  // namespace uvmsim

@@ -1,0 +1,345 @@
+#include "core/uvm_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uvmsim {
+
+UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
+                     std::uint64_t capacity_bytes, EventQueue& queue, SimStats& stats,
+                     BandwidthRegulator* shared_host_mem)
+    : cfg_(cfg),
+      space_(space),
+      queue_(queue),
+      stats_(stats),
+      table_(space),
+      device_(capacity_bytes),
+      counters_(div_ceil(space.span_end(), cfg.mem.counter_granularity),
+                static_cast<std::uint32_t>(std::countr_zero(cfg.mem.counter_granularity))),
+      eviction_(cfg.mem.eviction, cfg.mem.eviction_granularity),
+      prefetcher_(make_prefetcher(cfg.mem.prefetcher, cfg.rng_seed)),
+      policy_(make_policy(cfg.policy)),
+      throttle_(cfg.mitigation),
+      pcie_(cfg),
+      dram_(cfg.dram_bytes_per_cycle()) {
+  if (shared_host_mem != nullptr) {
+    host_mem_ = shared_host_mem;
+  } else {
+    owned_host_mem_ = std::make_unique<BandwidthRegulator>(
+        cfg.xfer.host_memory_bandwidth_gbps / cfg.gpu.core_clock_ghz);
+    host_mem_ = owned_host_mem_.get();
+  }
+  // Per-block placement-hint table (cudaMemAdvise model).
+  block_advice_.assign(space.total_blocks(), MemAdvice::kNone);
+  for (const Allocation& a : space.allocations()) {
+    if (a.advice == MemAdvice::kNone) continue;
+    for (BlockNum b = block_of(a.base); b < block_of(a.base) + a.padded_size / kBasicBlockSize;
+         ++b) {
+      block_advice_[b] = a.advice;
+    }
+  }
+}
+
+PolicyContext UvmDriver::policy_context() const noexcept {
+  const bool overcommitted =
+      space_.footprint_bytes() > device_.capacity_blocks() * kBasicBlockSize;
+  return PolicyContext{device_.used_pages(), device_.capacity_pages(), device_.ever_full(),
+                       overcommitted};
+}
+
+AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::uint32_t count,
+                                Cycle now) {
+  stats_.total_accesses += count;
+  const BlockNum b = block_of(addr);
+  const Residence res = table_.block(b).residence;
+  // Historic counters (Adaptive) track every access; Volta counters (static
+  // schemes) only track remote accesses to host-resident pages.
+  std::uint32_t post_count = 0;
+  if (cfg_.policy.historic_counters() || res == Residence::kHost) {
+    post_count = counters_.record_access(addr, count);
+    stats_.counter_halvings = counters_.halvings();
+  }
+  table_.touch(b, type, now);
+  if (trace_ != nullptr) {
+    trace_->on_access(now, addr, type, count, res == Residence::kDevice);
+  }
+
+  switch (res) {
+    case Residence::kDevice: {
+      stats_.local_accesses += count;
+      const Cycle drained = dram_.acquire(now, static_cast<std::uint64_t>(count) * kWarpAccessBytes);
+      return AccessOutcome{false, drained + cfg_.gpu.dram_latency};
+    }
+    case Residence::kInFlight: {
+      // The block is already on its way; join the waiters.
+      waiters_[b].push_back(w);
+      return AccessOutcome{true, 0};
+    }
+    case Residence::kHost:
+      break;
+  }
+
+  const CounterSnapshot snap{post_count, counters_.round_trips(addr)};
+  const PolicyContext ctx = policy_context();
+
+  // Programmer hints override the driver policy (paper §III-C):
+  // kAccessedBy establishes a permanent zero-copy mapping; kPreferredHost is
+  // a soft pin serviced with Volta's static delayed-migration semantics.
+  MigrationDecision d;
+  const MemAdvice advice = block_advice_[b];
+  switch (advice) {
+    case MemAdvice::kAccessedBy:
+      d = MigrationDecision::kRemoteAccess;
+      break;
+    case MemAdvice::kPreferredHost:
+      d = (type == AccessType::kWrite || post_count >= cfg_.policy.static_threshold)
+              ? MigrationDecision::kMigrate
+              : MigrationDecision::kRemoteAccess;
+      break;
+    case MemAdvice::kNone:
+      d = policy_->decide(type, snap, ctx);
+      break;
+  }
+
+  // State-of-practice mitigation (off by default): blocks detected as
+  // thrashing are temporarily host-pinned, overriding the migrate decision.
+  if (d == MigrationDecision::kMigrate && throttle_.enabled()) {
+    throttle_.note_fault(b, now, table_.block(b).round_trips);
+    if (throttle_.is_throttled(b, now)) d = MigrationDecision::kRemoteAccess;
+  }
+
+  if (d == MigrationDecision::kRemoteAccess) {
+    ++stats_.decide_remote;
+    // Multi-GPU: a read whose block sits in a peer's memory is served over
+    // the peer fabric instead of host PCIe.
+    if (peers_ != nullptr && peers_->config().enabled && type == AccessType::kRead &&
+        peers_->held_by_peer(b, gpu_id_)) {
+      stats_.peer_accesses += count;
+      return AccessOutcome{false, peers_->peer_transaction(now, count)};
+    }
+    stats_.remote_accesses += count;
+    // Reads pull cache lines H2D; writes push D2H. Zero-copy shares the
+    // PCIe channels with DMA migrations.
+    const PcieDir dir =
+        type == AccessType::kRead ? PcieDir::kHostToDevice : PcieDir::kDeviceToHost;
+    const std::uint64_t wire_bytes =
+        static_cast<std::uint64_t>(count) *
+        (kWarpAccessBytes + cfg_.xfer.remote_overhead_bytes);
+    const Cycle drained = pcie_.remote_transaction(dir, now, wire_bytes);
+    // Zero-copy also occupies host DRAM (payload only).
+    const Cycle host_drained =
+        host_mem_->acquire(now, static_cast<std::uint64_t>(count) * kWarpAccessBytes);
+    return AccessOutcome{false, std::max(drained, host_drained) +
+                                    cfg_.xfer.remote_access_latency};
+  }
+
+  ++stats_.decide_migrate;
+  // A write-forced migration is one that a read would not have triggered;
+  // such migrations move only the touched block (no prefetch expansion).
+  bool write_forced = false;
+  if (type == AccessType::kWrite) {
+    if (advice == MemAdvice::kPreferredHost) {
+      write_forced = post_count < cfg_.policy.static_threshold;
+    } else {
+      write_forced = policy_->decide(AccessType::kRead, snap, ctx) ==
+                     MigrationDecision::kRemoteAccess;
+    }
+  }
+  if (write_forced) ++stats_.write_forced_migrations;
+
+  ++stats_.far_faults;
+  raise_fault(b, w, /*with_prefetch=*/!write_forced);
+  if (type == AccessType::kWrite) table_.block(b).dirty_on_arrival = true;
+  return AccessOutcome{true, 0};
+}
+
+void UvmDriver::raise_fault(BlockNum b, WarpId w, bool with_prefetch) {
+  waiters_[b].push_back(w);
+  table_.mark_in_flight(b);
+  pending_.push_back(PendingFault{b, with_prefetch});
+  maybe_start_engine();
+}
+
+void UvmDriver::maybe_start_engine() {
+  if (engine_busy_ || pending_.empty()) return;
+  engine_busy_ = true;
+  // Let the fault buffer fill before draining the first batch; backlogged
+  // batches chain immediately from service_batch.
+  queue_.schedule_in(cfg_.xfer.fault_batch_window, [this] { process_batch(); });
+}
+
+void UvmDriver::process_batch() {
+  assert(engine_busy_);
+  if (pending_.empty()) {
+    engine_busy_ = false;
+    return;
+  }
+  std::vector<PendingFault> batch;
+  const std::size_t take = std::min<std::size_t>(pending_.size(), cfg_.xfer.fault_batch_max);
+  batch.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  ++stats_.fault_batches;
+  queue_.schedule_in(cfg_.far_fault_cycles(),
+                     [this, batch = std::move(batch)]() mutable { service_batch(std::move(batch)); });
+}
+
+bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_ready) {
+  const std::vector<BlockNum> victims = eviction_.select_victims(
+      table_, counters_,
+      VictimQuery{faulting_chunk, true, now, cfg_.mem.eviction_protect_cycles});
+  if (victims.empty()) return false;
+
+  ++stats_.evictions;
+  for (BlockNum v : victims) {
+    const bool dirty = table_.mark_evicted(v);
+    if (peers_ != nullptr) peers_->clear_resident(v, gpu_id_);
+    counters_.record_round_trip(addr_of_block(v));
+    device_.release(1);
+    stats_.pages_evicted += kPagesPerBlock;
+    if (dirty) {
+      stats_.writeback_pages += kPagesPerBlock;
+      stats_.bytes_d2h += kBasicBlockSize;
+      const Cycle done = pcie_.transfer(PcieDir::kDeviceToHost, now, 0, kBasicBlockSize);
+      const Cycle host_done = host_mem_->acquire(now, kBasicBlockSize);
+      writeback_ready = std::max({writeback_ready, done, host_done});
+    }
+    if (tlb_invalidate_) tlb_invalidate_(v);
+  }
+  return true;
+}
+
+void UvmDriver::enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_before) {
+  if (table_.block(b).round_trips >= 1) {
+    stats_.pages_thrashed += kPagesPerBlock;
+    if (!table_.block(b).thrashed_once) {
+      table_.block(b).thrashed_once = true;
+      stats_.distinct_pages_thrashed += kPagesPerBlock;
+    }
+  }
+  if (demand) {
+    ++stats_.blocks_migrated;
+  } else {
+    ++stats_.blocks_prefetched;
+  }
+  // Volta counters clear on migration; the historic counters persist.
+  if (!cfg_.policy.historic_counters()) {
+    counters_.reset_range(addr_of_block(b), kBasicBlockSize);
+  }
+  stats_.bytes_h2d += kBasicBlockSize;
+  ++in_flight_;
+  const Cycle pcie_done =
+      pcie_.transfer(PcieDir::kHostToDevice, now, not_before, kBasicBlockSize);
+  const Cycle host_done =
+      host_mem_->acquire(now, kBasicBlockSize) + cfg_.xfer.pcie_latency;
+  queue_.schedule_at(std::max(pcie_done, host_done), [this, b] { on_block_arrival(b); });
+}
+
+void UvmDriver::service_batch(std::vector<PendingFault> batch) {
+  const Cycle now = queue_.now();
+  Cycle writeback_ready = 0;
+  bool progressed = false;
+
+  for (const PendingFault& f : batch) {
+    // Build the migration set: demand block first, then prefetch expansion.
+    expand_buf_.clear();
+    if (f.with_prefetch) {
+      prefetcher_->expand(f.block, table_, expand_buf_);
+    }
+
+    const ChunkNum fault_chunk = chunk_of_block(f.block);
+
+    // Demand block: must make room; evict as long as a victim exists.
+    bool demand_ok = device_.reserve(1);
+    while (!demand_ok) {
+      device_.note_full();
+      if (!evict_for(fault_chunk, now, writeback_ready)) break;
+      demand_ok = device_.reserve(1);
+    }
+    if (!demand_ok) {
+      // All capacity is held by in-flight transfers; retry this fault once
+      // arrivals free the queue pressure.
+      pending_.push_back(PendingFault{f.block, f.with_prefetch});
+      continue;
+    }
+    enqueue_migration(f.block, /*demand=*/true, now, writeback_ready);
+    progressed = true;
+
+    // Prefetch blocks are best-effort: they may evict, but once nothing is
+    // evictable they are dropped rather than deferred.
+    for (BlockNum pb : expand_buf_) {
+      bool ok = device_.reserve(1);
+      while (!ok) {
+        device_.note_full();
+        if (!evict_for(fault_chunk, now, writeback_ready)) break;
+        ok = device_.reserve(1);
+      }
+      if (!ok) break;
+      table_.mark_in_flight(pb);
+      enqueue_migration(pb, /*demand=*/false, now, writeback_ready);
+    }
+  }
+
+  if (!pending_.empty() && progressed) {
+    // Chain the next batch immediately: the fault-handling engine is serial.
+    queue_.schedule_in(0, [this] { process_batch(); });
+  } else if (!pending_.empty() && in_flight_ > 0) {
+    // No progress possible until transfers land; arrivals restart the engine.
+    engine_busy_ = false;
+  } else if (!pending_.empty()) {
+    // Nothing in flight and nothing evictable: retry after a backoff to
+    // guarantee forward progress in time.
+    queue_.schedule_in(cfg_.far_fault_cycles(), [this] { process_batch(); });
+  } else {
+    engine_busy_ = false;
+  }
+}
+
+void UvmDriver::preload_all(std::function<void(Cycle)> on_done) {
+  const Cycle now = queue_.now();
+  Cycle last = now;
+  for (const Allocation& a : space_.allocations()) {
+    const BlockNum first = block_of(a.base);
+    const BlockNum end = first + a.padded_size / kBasicBlockSize;
+    for (BlockNum b = first; b < end; ++b) {
+      if (table_.block(b).residence != Residence::kHost) continue;
+      if (!device_.reserve(1)) {
+        throw std::invalid_argument(
+            "UvmDriver::preload_all: working set exceeds device capacity — "
+            "the copy-then-execute model cannot oversubscribe");
+      }
+      table_.mark_in_flight(b);
+      ++stats_.blocks_migrated;
+      stats_.bytes_h2d += kBasicBlockSize;
+      ++in_flight_;
+      const Cycle done =
+          std::max(pcie_.transfer(PcieDir::kHostToDevice, now, 0, kBasicBlockSize),
+                   host_mem_->acquire(now, kBasicBlockSize) + cfg_.xfer.pcie_latency);
+      last = std::max(last, done);
+      queue_.schedule_at(done, [this, b] { on_block_arrival(b); });
+    }
+  }
+  queue_.schedule_at(last, [cb = std::move(on_done), last] { cb(last); });
+}
+
+void UvmDriver::on_block_arrival(BlockNum b) {
+  const Cycle now = queue_.now();
+  table_.mark_resident(b, now);
+  if (peers_ != nullptr) peers_->set_resident(b, gpu_id_);
+  assert(in_flight_ > 0);
+  --in_flight_;
+
+  const auto it = waiters_.find(b);
+  if (it != waiters_.end()) {
+    // The faulted access replays and completes with a local DRAM access.
+    const Cycle drained = dram_.acquire(now, kWarpAccessBytes);
+    const Cycle ready = drained + cfg_.gpu.dram_latency;
+    for (WarpId w : it->second) {
+      ++stats_.replayed_accesses;
+      if (waker_) waker_(w, ready);
+    }
+    waiters_.erase(it);
+  }
+  maybe_start_engine();
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,146 @@
+// UvmDriver: the GPU driver / runtime model. It owns the memory-management
+// state (block table, device frames, access counters), the migration policy,
+// the prefetcher, the eviction manager and the PCIe fabric, and implements
+// the far-fault servicing pipeline:
+//
+//   GPU access -> counters -> residency check
+//     device-resident  -> DRAM-timed completion
+//     in-flight        -> warp stalls on the pending migration
+//     host-resident    -> policy decides:
+//         remote  -> zero-copy PCIe transaction, warp continues
+//         migrate -> far-fault: warp stalls, fault queued
+//
+//   Fault engine (serial): drain a batch (45 us handling), expand each
+//   demand block through the prefetcher (threshold/first-touch faults only;
+//   write-forced migrations move exactly one block), make room by evicting
+//   2 MB victims (dirty blocks write back D2H and gate the H2D start), and
+//   queue the H2D transfers. Arrivals mark blocks resident and wake warps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/access_counters.hpp"
+#include "mitigation/thrash_throttle.hpp"
+#include "multigpu/peer_directory.hpp"
+#include "mem/address_space.hpp"
+#include "mem/block_table.hpp"
+#include "mem/device_memory.hpp"
+#include "mem/eviction.hpp"
+#include "policy/migration_policy.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
+#include "xfer/bandwidth.hpp"
+#include "xfer/pcie.hpp"
+
+namespace uvmsim {
+
+/// Result of a GPU access as seen by the issuing warp.
+struct AccessOutcome {
+  bool stalled = false;  ///< true: far-fault; the warp waker fires later
+  Cycle done = 0;        ///< valid when !stalled: completion cycle
+};
+
+class UvmDriver {
+ public:
+  /// `waker(warp, ready)` is invoked when a stalled warp's access completes.
+  using WarpWaker = std::function<void(WarpId, Cycle)>;
+  /// Optional callback to invalidate SM TLB entries of an evicted block.
+  using TlbInvalidate = std::function<void(BlockNum)>;
+
+  /// `shared_host_mem` (optional) is the host-DRAM bandwidth regulator; pass
+  /// one shared instance when several drivers (GPUs) contend for the same
+  /// host memory, or leave null for a private one.
+  UvmDriver(const SimConfig& cfg, const AddressSpace& space, std::uint64_t capacity_bytes,
+            EventQueue& queue, SimStats& stats,
+            BandwidthRegulator* shared_host_mem = nullptr);
+
+  void set_warp_waker(WarpWaker w) { waker_ = std::move(w); }
+  void set_tlb_invalidate(TlbInvalidate f) { tlb_invalidate_ = std::move(f); }
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  /// Attach this driver (as GPU `gpu_id`) to a multi-GPU peer directory:
+  /// residency is published and remote accesses may be served over the peer
+  /// fabric when another GPU holds the block.
+  void set_peer_directory(PeerDirectory* peers, std::uint32_t gpu_id) {
+    peers_ = peers;
+    gpu_id_ = gpu_id;
+  }
+
+  /// Service one coalesced access issued by warp `w` at cycle `now`.
+  [[nodiscard]] AccessOutcome access(WarpId w, VirtAddr addr, AccessType type,
+                                     std::uint32_t count, Cycle now);
+
+  /// Classic "copy then execute": migrate every mapped block upfront (the
+  /// working set must fit — this is exactly the limitation Unified Memory
+  /// removes). `on_done` fires when the last transfer lands.
+  void preload_all(std::function<void(Cycle)> on_done);
+
+  // Introspection (tests, harnesses).
+  [[nodiscard]] const BlockTable& blocks() const noexcept { return table_; }
+  [[nodiscard]] const DeviceMemory& device() const noexcept { return device_; }
+  [[nodiscard]] const AccessCounterTable& counters() const noexcept { return counters_; }
+  [[nodiscard]] const PcieFabric& pcie() const noexcept { return pcie_; }
+  [[nodiscard]] const MigrationPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const ThrashThrottle& throttle() const noexcept { return throttle_; }
+  [[nodiscard]] std::size_t pending_faults() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool idle() const noexcept {
+    return pending_.empty() && !engine_busy_ && in_flight_ == 0;
+  }
+
+ private:
+  struct PendingFault {
+    BlockNum block;
+    bool with_prefetch;
+  };
+
+  [[nodiscard]] PolicyContext policy_context() const noexcept;
+  void raise_fault(BlockNum b, WarpId w, bool with_prefetch);
+  void maybe_start_engine();
+  void process_batch();
+  void service_batch(std::vector<PendingFault> batch);
+  /// Frees one block of device memory; returns false when nothing evictable.
+  bool evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_ready);
+  void enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_before);
+  void on_block_arrival(BlockNum b);
+
+  const SimConfig& cfg_;
+  const AddressSpace& space_;
+  EventQueue& queue_;
+  SimStats& stats_;
+
+  BlockTable table_;
+  DeviceMemory device_;
+  AccessCounterTable counters_;
+  EvictionManager eviction_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  ThrashThrottle throttle_;
+  PcieFabric pcie_;
+  BandwidthRegulator dram_;
+  std::unique_ptr<BandwidthRegulator> owned_host_mem_;  ///< when not shared
+  BandwidthRegulator* host_mem_;
+
+  std::vector<MemAdvice> block_advice_;  ///< per-block placement hint
+  std::unordered_map<BlockNum, std::vector<WarpId>> waiters_;
+  std::deque<PendingFault> pending_;
+  bool engine_busy_ = false;
+  std::uint64_t in_flight_ = 0;  ///< H2D block transfers not yet arrived
+
+  WarpWaker waker_;
+  TlbInvalidate tlb_invalidate_;
+  TraceSink* trace_ = nullptr;
+  PeerDirectory* peers_ = nullptr;
+  std::uint32_t gpu_id_ = 0;
+
+  std::vector<BlockNum> expand_buf_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,68 @@
+// GPU execution model: warp contexts distributed over SMs play the access
+// streams of dynamically claimed kernel tasks (persistent-threads style CTA
+// dispatch). The model captures what matters to the memory system — massive
+// TLP that hides local latency, per-SM LSU issue throughput, per-SM TLBs,
+// and warps that stall on far-faults — without instruction-level simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <memory>
+
+#include "core/uvm_driver.hpp"
+#include "gpu/l2_cache.hpp"
+#include "gpu/tlb.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+class GpuModel {
+ public:
+  GpuModel(const SimConfig& cfg, EventQueue& queue, UvmDriver& driver, SimStats& stats);
+
+  /// Launch `kernel`; `on_complete` fires when every task has been executed.
+  /// Only one kernel may be in flight (kernels serialize, as with
+  /// cudaDeviceSynchronize between launches in the benchmarks).
+  void launch(const Kernel& kernel, std::function<void()> on_complete);
+
+  [[nodiscard]] bool busy() const noexcept { return active_warps_ > 0; }
+
+ private:
+  struct WarpCtx {
+    std::uint32_t sm = 0;
+    std::vector<Access> buf;
+    std::size_t pos = 0;
+    bool active = false;
+  };
+
+  void step_warp(WarpId w);
+  /// Called by the driver when a stalled warp's access completes.
+  void wake_warp(WarpId w, Cycle ready);
+  void finish_access(WarpId w, Cycle done);
+  bool refill(WarpCtx& warp);
+  void retire_warp(WarpId w);
+
+  const SimConfig& cfg_;
+  EventQueue& queue_;
+  UvmDriver& driver_;
+  SimStats& stats_;
+
+  std::vector<WarpCtx> warps_;
+  std::vector<Cycle> sm_next_issue_;
+  std::vector<Tlb> tlbs_;
+  std::unique_ptr<L2Cache> l2_;  ///< present only when the L2 model is on
+
+  const Kernel* kernel_ = nullptr;
+  std::function<void()> on_complete_;
+  std::uint64_t next_task_ = 0;
+  std::uint64_t num_tasks_ = 0;
+  std::uint32_t active_warps_ = 0;
+};
+
+}  // namespace uvmsim

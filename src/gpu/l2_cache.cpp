@@ -1,0 +1,65 @@
+#include "gpu/l2_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace uvmsim {
+
+L2Cache::L2Cache(const L2Config& cfg) : ways_(cfg.ways) {
+  if (cfg.ways == 0) throw std::invalid_argument("L2Cache: zero ways");
+  const std::uint64_t total_lines = cfg.size_bytes / kWarpAccessBytes;
+  if (total_lines < cfg.ways) throw std::invalid_argument("L2Cache: size below one set");
+  // Power-of-two sets for cheap indexing.
+  num_sets_ = static_cast<std::uint32_t>(std::bit_floor(total_lines / cfg.ways));
+  lines_.assign(static_cast<std::size_t>(num_sets_) * ways_, Line{});
+}
+
+bool L2Cache::access(VirtAddr addr, bool write) {
+  const std::uint64_t line = line_of(addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  ++tick_;
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      l.dirty |= write;
+      ++hits_;
+      return true;
+    }
+    if (!l.valid) {
+      victim = &l;  // prefer an invalid slot
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+
+  ++misses_;
+  if (victim->valid && victim->dirty) ++dirty_evictions_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = write;
+  victim->lru = tick_;
+  return false;
+}
+
+void L2Cache::invalidate_block(BlockNum b) {
+  const std::uint64_t first_line = (b << kBasicBlockShift) / kWarpAccessBytes;
+  const std::uint64_t lines_per_block = kBasicBlockSize / kWarpAccessBytes;
+  for (std::uint64_t line = first_line; line < first_line + lines_per_block; ++line) {
+    const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+    const std::uint64_t tag = line / num_sets_;
+    Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].tag == tag) {
+        base[w].valid = false;
+        base[w].dirty = false;
+      }
+    }
+  }
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,43 @@
+// Small per-SM TLB over 4 KB pages: direct-mapped on the page number, which
+// is a good approximation of the small per-SM MMU caches at the fidelity we
+// need (sequential streams hit, scattered access misses and pays the page
+// table walk).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class Tlb {
+ public:
+  explicit Tlb(std::uint32_t entries)
+      : slots_(entries, kEmpty) {}
+
+  /// Look up `p`, installing it on miss. Returns true on hit.
+  bool access(PageNum p) noexcept {
+    auto& slot = slots_[index(p)];
+    if (slot == p) return true;
+    slot = p;
+    return false;
+  }
+
+  /// Drop any entry covering page `p` (shootdown on eviction).
+  void invalidate(PageNum p) noexcept {
+    auto& slot = slots_[index(p)];
+    if (slot == p) slot = kEmpty;
+  }
+
+  void flush() noexcept {
+    for (auto& s : slots_) s = kEmpty;
+  }
+
+ private:
+  static constexpr PageNum kEmpty = ~PageNum{0};
+  [[nodiscard]] std::size_t index(PageNum p) const noexcept { return p % slots_.size(); }
+  std::vector<PageNum> slots_;
+};
+
+}  // namespace uvmsim

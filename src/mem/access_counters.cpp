@@ -1,0 +1,55 @@
+#include "mem/access_counters.hpp"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+AccessCounterTable::AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift)
+    : regs_(units, 0u), unit_shift_(unit_shift) {}
+
+std::uint32_t AccessCounterTable::record_access(VirtAddr a, std::uint32_t n) {
+  const std::uint64_t u = unit_of(a);
+  std::uint32_t trips = regs_[u] >> kCountBits;
+  std::uint64_t cnt = (regs_[u] & kCountMax) + static_cast<std::uint64_t>(n);
+  if (cnt >= kCountMax) {
+    halve_all();
+    trips = regs_[u] >> kCountBits;
+    cnt = (regs_[u] & kCountMax) + static_cast<std::uint64_t>(n);
+    cnt = std::min<std::uint64_t>(cnt, kCountMax - 1);
+  }
+  regs_[u] = (trips << kCountBits) | static_cast<std::uint32_t>(cnt);
+  return static_cast<std::uint32_t>(cnt);
+}
+
+void AccessCounterTable::record_round_trip(VirtAddr a) {
+  const std::uint64_t u = unit_of(a);
+  std::uint32_t trips = regs_[u] >> kCountBits;
+  if (trips + 1 >= kTripMax) {
+    halve_all();
+    trips = regs_[u] >> kCountBits;
+  }
+  const std::uint32_t cnt = regs_[u] & kCountMax;
+  regs_[u] = ((trips + 1) << kCountBits) | cnt;
+}
+
+std::uint64_t AccessCounterTable::range_count(VirtAddr addr, std::uint64_t bytes) const noexcept {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = unit_of(addr);
+  const std::uint64_t last = unit_of(addr + bytes - 1);
+  std::uint64_t total = 0;
+  for (std::uint64_t u = first; u <= last && u < regs_.size(); ++u) {
+    total += regs_[u] & kCountMax;
+  }
+  return total;
+}
+
+void AccessCounterTable::halve_all() noexcept {
+  for (std::uint32_t& r : regs_) {
+    const std::uint32_t trips = (r >> kCountBits) >> 1;
+    const std::uint32_t cnt = (r & kCountMax) >> 1;
+    r = (trips << kCountBits) | cnt;
+  }
+  ++halvings_;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,85 @@
+// Access-counter table (paper §IV, "Access Counter Maintenance").
+//
+// One 32-bit register per counter unit (64 KB basic block by default, 4 KB
+// page optionally): the low 27 bits count accesses — both device-local and
+// remote, giving the historic view the paper argues for — and the top 5 bits
+// count round trips (evictions). When either field saturates, every counter
+// in the table is halved (not reset) to preserve the relative hotness order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class AccessCounterTable {
+ public:
+  static constexpr std::uint32_t kCountBits = 27;
+  static constexpr std::uint32_t kTripBits = 5;
+  static constexpr std::uint32_t kCountMax = (1u << kCountBits) - 1;
+  static constexpr std::uint32_t kTripMax = (1u << kTripBits) - 1;
+
+  /// `units` = number of counter units covering the VA span;
+  /// `unit_shift` = log2(bytes per unit), e.g. 16 for 64 KB.
+  AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift);
+
+  [[nodiscard]] std::uint64_t unit_of(VirtAddr a) const noexcept { return a >> unit_shift_; }
+  [[nodiscard]] std::uint64_t units() const noexcept { return regs_.size(); }
+  [[nodiscard]] std::uint32_t unit_shift() const noexcept { return unit_shift_; }
+
+  /// Record `n` coalesced accesses to the unit holding `a`.
+  /// Returns the post-increment access count. Triggers a global halving when
+  /// the count field saturates.
+  std::uint32_t record_access(VirtAddr a, std::uint32_t n = 1);
+
+  /// Record an eviction round trip for the unit holding `a`.
+  void record_round_trip(VirtAddr a);
+
+  [[nodiscard]] std::uint32_t count(VirtAddr a) const noexcept {
+    return regs_[unit_of(a)] & kCountMax;
+  }
+  [[nodiscard]] std::uint32_t round_trips(VirtAddr a) const noexcept {
+    return regs_[unit_of(a)] >> kCountBits;
+  }
+  [[nodiscard]] std::uint32_t count_unit(std::uint64_t u) const noexcept {
+    return regs_[u] & kCountMax;
+  }
+  [[nodiscard]] std::uint32_t round_trips_unit(std::uint64_t u) const noexcept {
+    return regs_[u] >> kCountBits;
+  }
+
+  /// Aggregate access count over the units covering [addr, addr+bytes).
+  [[nodiscard]] std::uint64_t range_count(VirtAddr addr, std::uint64_t bytes) const noexcept;
+
+  /// Clear the access-count field of the unit holding `a` (round trips are
+  /// preserved). Volta-style counters reset when the page migrates; the
+  /// paper's historic counters never do.
+  void reset_count(VirtAddr a) noexcept {
+    regs_[unit_of(a)] &= ~kCountMax;
+  }
+
+  /// Clear the count fields of every unit covering [addr, addr+bytes).
+  void reset_range(VirtAddr addr, std::uint64_t bytes) noexcept {
+    if (bytes == 0) return;
+    const std::uint64_t first = unit_of(addr);
+    const std::uint64_t last = unit_of(addr + bytes - 1);
+    for (std::uint64_t u = first; u <= last && u < regs_.size(); ++u) {
+      regs_[u] &= ~kCountMax;
+    }
+  }
+
+  /// Number of global halvings performed (exposed for stats/tests).
+  [[nodiscard]] std::uint64_t halvings() const noexcept { return halvings_; }
+
+  /// Halve every counter and round-trip field (also used on saturation).
+  void halve_all() noexcept;
+
+ private:
+  std::vector<std::uint32_t> regs_;
+  std::uint32_t unit_shift_;
+  std::uint64_t halvings_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,79 @@
+#include "mem/address_space.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace uvmsim {
+
+std::uint64_t round_partial_chunk(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return 0;
+  if (bytes >= kLargePageSize) return kLargePageSize;
+  const std::uint64_t units = div_ceil(bytes, kBasicBlockSize);
+  return std::bit_ceil(units) * kBasicBlockSize;
+}
+
+AllocId AddressSpace::allocate(std::string name, std::uint64_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("AddressSpace::allocate: zero size");
+
+  Allocation a;
+  a.id = static_cast<AllocId>(allocs_.size());
+  a.name = std::move(name);
+  a.base = next_base_;  // bases are kept 2 MB aligned
+  a.user_size = bytes;
+
+  const std::uint64_t full_chunks = bytes / kLargePageSize;
+  const std::uint64_t tail = round_partial_chunk(bytes % kLargePageSize);
+  a.padded_size = full_chunks * kLargePageSize + tail;
+
+  VirtAddr va = a.base;
+  for (std::uint64_t i = 0; i < full_chunks; ++i, va += kLargePageSize) {
+    a.chunks.push_back({chunk_of(va), static_cast<std::uint32_t>(kBlocksPerLargePage)});
+  }
+  if (tail != 0) {
+    a.chunks.push_back({chunk_of(va), static_cast<std::uint32_t>(tail / kBasicBlockSize)});
+  }
+
+  // Advance to the next 2 MB boundary so chunks never straddle allocations.
+  next_base_ = round_up(a.base + a.padded_size, kLargePageSize);
+  footprint_ += a.padded_size;
+
+  for (const ChunkInfo& c : a.chunks) {
+    if (chunk_blocks_.size() <= c.chunk) chunk_blocks_.resize(c.chunk + 1, 0);
+    chunk_blocks_[c.chunk] = c.num_blocks;
+  }
+
+  allocs_.push_back(std::move(a));
+  return allocs_.back().id;
+}
+
+std::optional<AllocId> AddressSpace::find(VirtAddr va) const noexcept {
+  // Allocations are sorted by base; binary search the owner.
+  std::size_t lo = 0, hi = allocs_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (allocs_[mid].end() <= va) {
+      lo = mid + 1;
+    } else if (allocs_[mid].base > va) {
+      hi = mid;
+    } else {
+      return allocs_[mid].id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t AddressSpace::chunk_num_blocks(ChunkNum c) const noexcept {
+  return c < chunk_blocks_.size() ? chunk_blocks_[c] : 0u;
+}
+
+bool AddressSpace::advise(const std::string& name, MemAdvice advice) {
+  for (Allocation& a : allocs_) {
+    if (a.name == name) {
+      a.advice = advice;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace uvmsim

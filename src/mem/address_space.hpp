@@ -1,0 +1,97 @@
+// Unified virtual address space: managed allocations and their logical
+// decomposition into 2 MB chunks and 64 KB basic blocks, exactly as the CUDA
+// runtime does it (paper §II-B): the user size is split into full 2 MB
+// chunks plus one trailing chunk rounded up to the next power-of-two
+// multiple of 64 KB. Each chunk later backs one full binary prefetch tree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+/// One logical chunk of an allocation (the prefetch-tree domain).
+struct ChunkInfo {
+  ChunkNum chunk = 0;         ///< global chunk number (base VA >> 21)
+  std::uint32_t num_blocks = 0;  ///< leaves in this chunk's tree (power of two, <= 32)
+};
+
+/// Programmer-provided placement hints (cudaMemAdvise-style, paper §III-C).
+/// The paper's framework exists to make these unnecessary; they are modelled
+/// so the oracle-hints experiment can compare hand tuning against the
+/// programmer-agnostic adaptive scheme.
+enum class MemAdvice : std::uint8_t {
+  kNone,           ///< driver policy decides (default)
+  kAccessedBy,     ///< direct mapping: always accessed zero-copy, never migrated
+  kPreferredHost,  ///< soft host pin: Volta delayed migration regardless of policy
+};
+
+/// A cudaMallocManaged-style allocation.
+struct Allocation {
+  AllocId id = kInvalidAlloc;
+  std::string name;
+  VirtAddr base = 0;             ///< 2 MB aligned
+  std::uint64_t user_size = 0;   ///< bytes requested
+  std::uint64_t padded_size = 0; ///< bytes after chunk rounding
+  MemAdvice advice = MemAdvice::kNone;
+  std::vector<ChunkInfo> chunks;
+
+  [[nodiscard]] VirtAddr end() const noexcept { return base + padded_size; }
+  [[nodiscard]] bool contains(VirtAddr a) const noexcept {
+    return a >= base && a < end();
+  }
+};
+
+/// Rounds a trailing partial-chunk size up to the next power-of-two multiple
+/// of 64 KB (e.g. 168 KB -> 256 KB), capped at 2 MB.
+[[nodiscard]] std::uint64_t round_partial_chunk(std::uint64_t bytes) noexcept;
+
+class AddressSpace {
+ public:
+  /// Create a managed allocation; returns its id. Must be called during
+  /// workload build, before the simulation starts.
+  AllocId allocate(std::string name, std::uint64_t bytes);
+
+  [[nodiscard]] const Allocation& alloc(AllocId id) const { return allocs_.at(id); }
+  [[nodiscard]] const std::vector<Allocation>& allocations() const noexcept { return allocs_; }
+  [[nodiscard]] std::size_t num_allocations() const noexcept { return allocs_.size(); }
+
+  /// Sum of padded sizes — the managed working-set footprint.
+  [[nodiscard]] std::uint64_t footprint_bytes() const noexcept { return footprint_; }
+
+  /// One past the highest mapped VA (allocation bases are packed from 0).
+  [[nodiscard]] VirtAddr span_end() const noexcept { return next_base_; }
+  [[nodiscard]] BlockNum total_blocks() const noexcept { return block_of(next_base_); }
+
+  /// Allocation owning `a`, if any.
+  [[nodiscard]] std::optional<AllocId> find(VirtAddr a) const noexcept;
+  /// Allocation owning basic block `b`, if any.
+  [[nodiscard]] std::optional<AllocId> find_block(BlockNum b) const noexcept {
+    return find(addr_of_block(b));
+  }
+
+  /// Number of 64 KB blocks in the chunk containing `b` (0 if unmapped).
+  [[nodiscard]] std::uint32_t chunk_num_blocks(ChunkNum c) const noexcept;
+
+  /// True when block `b` belongs to some allocation.
+  [[nodiscard]] bool block_mapped(BlockNum b) const noexcept {
+    return find(addr_of_block(b)).has_value();
+  }
+
+  /// Attach a placement hint to an allocation (by id or by name).
+  void advise(AllocId id, MemAdvice advice) { allocs_.at(id).advice = advice; }
+  /// Returns false when no allocation has that name.
+  bool advise(const std::string& name, MemAdvice advice);
+
+ private:
+  std::vector<Allocation> allocs_;
+  std::vector<std::uint32_t> chunk_blocks_;  ///< per global chunk number
+  VirtAddr next_base_ = 0;
+  std::uint64_t footprint_ = 0;
+};
+
+}  // namespace uvmsim

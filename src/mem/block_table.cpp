@@ -1,0 +1,79 @@
+#include "mem/block_table.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace uvmsim {
+
+BlockTable::BlockTable(const AddressSpace& space) : space_(space) {
+  blocks_.resize(space.total_blocks());
+  chunks_.resize(chunk_of_block(space.total_blocks() == 0 ? 0 : space.total_blocks() - 1) + 1);
+}
+
+void BlockTable::touch(BlockNum b, AccessType type, Cycle now) {
+  BlockState& s = blocks_[b];
+  s.last_access = now;
+  if (type == AccessType::kWrite) {
+    s.written_ever = true;
+    if (s.residence == Residence::kDevice) {
+      s.dirty = true;
+    } else if (s.residence == Residence::kInFlight) {
+      // The write replays once the migration lands; the block arrives dirty.
+      s.dirty_on_arrival = true;
+    }
+  }
+  ChunkResidency& c = chunks_[chunk_of_block(b)];
+  c.last_access = now;
+  if (type == AccessType::kWrite) c.written_ever = true;
+}
+
+void BlockTable::mark_in_flight(BlockNum b) {
+  BlockState& s = blocks_[b];
+  if (s.residence != Residence::kHost)
+    throw std::logic_error("BlockTable: in-flight transition requires host residence");
+  s.residence = Residence::kInFlight;
+}
+
+void BlockTable::mark_resident(BlockNum b, Cycle now) {
+  BlockState& s = blocks_[b];
+  if (s.residence != Residence::kInFlight)
+    throw std::logic_error("BlockTable: resident transition requires in-flight state");
+  s.residence = Residence::kDevice;
+  s.dirty = s.dirty_on_arrival;
+  s.dirty_on_arrival = false;
+  ChunkResidency& c = chunks_[chunk_of_block(b)];
+  if (c.resident_blocks == 0) c.migrated_at = now;
+  ++c.resident_blocks;
+}
+
+bool BlockTable::mark_evicted(BlockNum b) {
+  BlockState& s = blocks_[b];
+  if (s.residence != Residence::kDevice)
+    throw std::logic_error("BlockTable: eviction requires device residence");
+  const bool was_dirty = s.dirty;
+  s.residence = Residence::kHost;
+  s.dirty = false;
+  ++s.round_trips;
+  ChunkResidency& c = chunks_[chunk_of_block(b)];
+  assert(c.resident_blocks > 0);
+  --c.resident_blocks;
+  return was_dirty;
+}
+
+std::vector<BlockNum> BlockTable::resident_blocks_of(ChunkNum c) const {
+  std::vector<BlockNum> out;
+  const BlockNum first = first_block_of_chunk(c);
+  const std::uint32_t n = space_.chunk_num_blocks(c);
+  out.reserve(chunks_[c].resident_blocks);
+  for (BlockNum b = first; b < first + n; ++b) {
+    if (blocks_[b].residence == Residence::kDevice) out.push_back(b);
+  }
+  return out;
+}
+
+bool BlockTable::chunk_fully_resident(ChunkNum c) const {
+  const std::uint32_t n = space_.chunk_num_blocks(c);
+  return n != 0 && chunks_[c].resident_blocks == n;
+}
+
+}  // namespace uvmsim

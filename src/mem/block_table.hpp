@@ -1,0 +1,67 @@
+// Per-basic-block (64 KB) migration state plus per-chunk (2 MB) residency
+// aggregates. This is the driver-side page table abstraction: the unit of
+// migration is the basic block; the unit of eviction is the large page.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+struct BlockState {
+  Residence residence = Residence::kHost;
+  bool dirty = false;         ///< written while device-resident (needs writeback)
+  bool dirty_on_arrival = false;  ///< a write is waiting on the in-flight migration
+  bool written_ever = false;  ///< block has ever been written by the GPU
+  bool thrashed_once = false; ///< has been re-migrated after an eviction
+  std::uint32_t round_trips = 0;  ///< number of evictions suffered (r)
+  Cycle last_access = 0;
+};
+
+struct ChunkResidency {
+  std::uint32_t resident_blocks = 0;
+  Cycle last_access = 0;       ///< LRU key: most recent access to any block
+  Cycle migrated_at = 0;       ///< when the chunk first became (partly) resident
+  bool written_ever = false;   ///< any block in chunk ever written
+};
+
+class BlockTable {
+ public:
+  explicit BlockTable(const AddressSpace& space);
+
+  [[nodiscard]] const BlockState& block(BlockNum b) const { return blocks_[b]; }
+  [[nodiscard]] BlockState& block(BlockNum b) { return blocks_[b]; }
+  [[nodiscard]] const ChunkResidency& chunk(ChunkNum c) const { return chunks_[c]; }
+  [[nodiscard]] ChunkResidency& chunk(ChunkNum c) { return chunks_[c]; }
+
+  [[nodiscard]] BlockNum num_blocks() const noexcept { return blocks_.size(); }
+  [[nodiscard]] ChunkNum num_chunks() const noexcept { return chunks_.size(); }
+
+  /// Record a GPU access to a resident or host block (recency bookkeeping).
+  void touch(BlockNum b, AccessType type, Cycle now);
+
+  /// Transition `b` host -> in-flight (migration enqueued).
+  void mark_in_flight(BlockNum b);
+  /// Transition `b` in-flight -> device (migration arrived).
+  void mark_resident(BlockNum b, Cycle now);
+  /// Transition `b` device -> host (evicted); returns true if it was dirty.
+  bool mark_evicted(BlockNum b);
+
+  /// Blocks of chunk `c` currently device-resident.
+  [[nodiscard]] std::vector<BlockNum> resident_blocks_of(ChunkNum c) const;
+
+  /// True when every mapped block of chunk `c` is resident.
+  [[nodiscard]] bool chunk_fully_resident(ChunkNum c) const;
+
+  [[nodiscard]] const AddressSpace& space() const noexcept { return space_; }
+
+ private:
+  const AddressSpace& space_;
+  std::vector<BlockState> blocks_;
+  std::vector<ChunkResidency> chunks_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,62 @@
+// Device physical-memory accounting. Frames are fungible in this model:
+// we track occupancy in 64 KB block units against a configured capacity.
+// Reservations happen at migration-enqueue time so in-flight transfers
+// cannot oversubscribe the physical space.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::uint64_t capacity_bytes)
+      : capacity_blocks_(capacity_bytes / kBasicBlockSize) {
+    if (capacity_blocks_ == 0)
+      throw std::invalid_argument("DeviceMemory: capacity below one basic block");
+  }
+
+  [[nodiscard]] std::uint64_t capacity_blocks() const noexcept { return capacity_blocks_; }
+  [[nodiscard]] std::uint64_t used_blocks() const noexcept { return used_blocks_; }
+  [[nodiscard]] std::uint64_t free_blocks() const noexcept {
+    return capacity_blocks_ - used_blocks_;
+  }
+  [[nodiscard]] std::uint64_t capacity_pages() const noexcept {
+    return capacity_blocks_ * kPagesPerBlock;
+  }
+  [[nodiscard]] std::uint64_t used_pages() const noexcept {
+    return used_blocks_ * kPagesPerBlock;
+  }
+  [[nodiscard]] double occupancy() const noexcept {
+    return static_cast<double>(used_blocks_) / static_cast<double>(capacity_blocks_);
+  }
+
+  /// Try to reserve `n` blocks; returns false without side effects when the
+  /// free space is insufficient.
+  [[nodiscard]] bool reserve(std::uint64_t n) noexcept {
+    if (free_blocks() < n) return false;
+    used_blocks_ += n;
+    return true;
+  }
+
+  /// Release `n` previously reserved blocks.
+  void release(std::uint64_t n) {
+    if (n > used_blocks_) throw std::logic_error("DeviceMemory: releasing unreserved blocks");
+    used_blocks_ -= n;
+  }
+
+  /// True once the device has ever run out of free space (sticky). The
+  /// adaptive policy keys its Equation-1 branch off this.
+  [[nodiscard]] bool ever_full() const noexcept { return ever_full_; }
+  void note_full() noexcept { ever_full_ = true; }
+
+ private:
+  std::uint64_t capacity_blocks_;
+  std::uint64_t used_blocks_ = 0;
+  bool ever_full_ = false;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,157 @@
+#include "mem/eviction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+namespace uvmsim {
+
+ChunkNum LruEviction::pick(const std::vector<ChunkNum>& candidates, const BlockTable& table,
+                           const AccessCounterTable& /*counters*/) const {
+  ChunkNum best = candidates.front();
+  Cycle best_ts = std::numeric_limits<Cycle>::max();
+  for (ChunkNum c : candidates) {
+    const Cycle ts = table.chunk(c).last_access;
+    if (ts < best_ts) {
+      best_ts = ts;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::uint64_t LfuEviction::chunk_frequency(ChunkNum c, const BlockTable& table,
+                                           const AccessCounterTable& counters) {
+  const BlockNum first = first_block_of_chunk(c);
+  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  std::uint64_t total = 0;
+  for (BlockNum b = first; b < first + n; ++b) {
+    if (table.block(b).residence == Residence::kDevice) {
+      total += counters.range_count(addr_of_block(b), kBasicBlockSize);
+    }
+  }
+  return total;
+}
+
+ChunkNum LfuEviction::pick(const std::vector<ChunkNum>& candidates, const BlockTable& table,
+                           const AccessCounterTable& counters) const {
+  // Order: lowest frequency first; read-only (never written) before written;
+  // then least recently used. The recency tie-break is what makes the policy
+  // collapse to LRU when frequencies are uniform (regular applications).
+  using Key = std::tuple<std::uint64_t, bool, Cycle>;
+  ChunkNum best = candidates.front();
+  Key best_key{std::numeric_limits<std::uint64_t>::max(), true,
+               std::numeric_limits<Cycle>::max()};
+  for (ChunkNum c : candidates) {
+    const ChunkResidency& cr = table.chunk(c);
+    Key key{chunk_frequency(c, table, counters), cr.written_ever, cr.last_access};
+    if (key < best_key) {
+      best_key = key;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<BlockNum> tree_eviction_subtree(ChunkNum c, const BlockTable& table) {
+  const BlockNum first = first_block_of_chunk(c);
+  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  if (n == 0) return {};
+
+  // LRU block among the chunk's resident blocks.
+  BlockNum lru = first;
+  Cycle lru_ts = std::numeric_limits<Cycle>::max();
+  bool found = false;
+  for (BlockNum b = first; b < first + n; ++b) {
+    const BlockState& s = table.block(b);
+    if (s.residence == Residence::kDevice && s.last_access < lru_ts) {
+      lru_ts = s.last_access;
+      lru = b;
+      found = true;
+    }
+  }
+  if (!found) return {};
+
+  // Grow the subtree around the LRU leaf while it stays fully resident.
+  const auto leaf = static_cast<std::uint32_t>(lru - first);
+  std::uint32_t best_lo = leaf, best_size = 1;
+  for (std::uint32_t size = 2; size <= n; size <<= 1) {
+    const std::uint32_t lo = leaf / size * size;
+    bool full = true;
+    for (std::uint32_t i = lo; i < lo + size && full; ++i) {
+      full = i < n && table.block(first + i).residence == Residence::kDevice;
+    }
+    if (!full) break;
+    best_lo = lo;
+    best_size = size;
+  }
+
+  std::vector<BlockNum> out;
+  out.reserve(best_size);
+  for (std::uint32_t i = best_lo; i < best_lo + best_size; ++i) out.push_back(first + i);
+  return out;
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLru:
+    case EvictionKind::kTree:  // tree mode reuses LRU chunk selection
+      return std::make_unique<LruEviction>();
+    case EvictionKind::kLfu:
+      return std::make_unique<LfuEviction>();
+  }
+  return nullptr;
+}
+
+EvictionManager::EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes)
+    : policy_(make_eviction_policy(kind)), kind_(kind), granularity_(granularity_bytes) {}
+
+std::vector<BlockNum> EvictionManager::select_victims(const BlockTable& table,
+                                                      const AccessCounterTable& counters,
+                                                      const VictimQuery& q) const {
+  // Gather candidate chunks: resident blocks present, not the faulting
+  // chunk, and (preferably) not under active access by scheduled warps.
+  const Cycle cutoff =
+      q.now > q.protect_window ? q.now - q.protect_window : 0;
+  std::vector<ChunkNum> full, partial, busy_full, busy_partial;
+  for (ChunkNum c = 0; c < table.num_chunks(); ++c) {
+    if (q.has_faulting_chunk && c == q.faulting_chunk) continue;
+    const ChunkResidency& cr = table.chunk(c);
+    if (cr.resident_blocks == 0) continue;
+    const bool busy = q.protect_window != 0 && cr.last_access >= cutoff;
+    const bool fully = table.chunk_fully_resident(c);
+    (fully ? (busy ? busy_full : full) : (busy ? busy_partial : partial)).push_back(c);
+  }
+
+  const std::vector<ChunkNum>& pool = !full.empty()      ? full
+                                      : !partial.empty() ? partial
+                                      : !busy_full.empty() ? busy_full
+                                                           : busy_partial;
+  if (pool.empty()) return {};
+  const ChunkNum victim = policy_->pick(pool, table, counters);
+
+  if (kind_ == EvictionKind::kTree) {
+    const auto subtree = tree_eviction_subtree(victim, table);
+    if (!subtree.empty()) return subtree;
+  }
+
+  std::vector<BlockNum> blocks = table.resident_blocks_of(victim);
+  if (granularity_ == kLargePageSize || blocks.size() <= 1) return blocks;
+
+  // 64 KB eviction granularity: evict only the coldest block of the chunk.
+  BlockNum coldest = blocks.front();
+  std::uint64_t coldest_cnt = std::numeric_limits<std::uint64_t>::max();
+  Cycle coldest_ts = std::numeric_limits<Cycle>::max();
+  for (BlockNum b : blocks) {
+    const std::uint64_t cnt = counters.range_count(addr_of_block(b), kBasicBlockSize);
+    const Cycle ts = table.block(b).last_access;
+    if (std::tie(cnt, ts) < std::tie(coldest_cnt, coldest_ts)) {
+      coldest_cnt = cnt;
+      coldest_ts = ts;
+      coldest = b;
+    }
+  }
+  return {coldest};
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,107 @@
+// Large-page (2 MB) eviction policies (paper §II-C and §IV "Access Counter
+// Based Page Replacement").
+//
+// * LruEviction — NVIDIA default: order large pages by last migration/access
+//   timestamp; oldest goes first. A large page is preferred as a victim only
+//   when fully populated (so the prefetch-tree semantics survive eviction);
+//   partially populated pages are a fallback to guarantee progress.
+// * LfuEviction — this paper: order by aggregate access-counter frequency so
+//   cold pages are evicted before hot ones; read-only pages are prioritized
+//   (written pages are the expensive ones to lose); ties fall back to LRU
+//   order, which makes the policy degrade to LRU under the uniform access
+//   frequencies of regular applications.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/access_counters.hpp"
+#include "mem/block_table.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+struct VictimQuery {
+  ChunkNum faulting_chunk = 0;   ///< chunk being filled; never evicted
+  bool has_faulting_chunk = false;
+  /// Approximation of the NVIDIA rule that a large page is evictable only
+  /// when "not currently addressed by scheduled warps": chunks accessed
+  /// within the last `protect_window` cycles are excluded, unless nothing
+  /// else is evictable.
+  Cycle now = 0;
+  Cycle protect_window = 0;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Pick the victim chunk among `candidates` (all have >= 1 resident block,
+  /// faulting chunk already excluded). `fully_resident` tells the policy
+  /// whether each candidate is completely populated.
+  [[nodiscard]] virtual ChunkNum pick(const std::vector<ChunkNum>& candidates,
+                                      const BlockTable& table,
+                                      const AccessCounterTable& counters) const = 0;
+};
+
+class LruEviction final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+  [[nodiscard]] ChunkNum pick(const std::vector<ChunkNum>& candidates,
+                              const BlockTable& table,
+                              const AccessCounterTable& counters) const override;
+};
+
+class LfuEviction final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+  [[nodiscard]] ChunkNum pick(const std::vector<ChunkNum>& candidates,
+                              const BlockTable& table,
+                              const AccessCounterTable& counters) const override;
+
+  /// Aggregate frequency key used for ordering (exposed for tests).
+  [[nodiscard]] static std::uint64_t chunk_frequency(ChunkNum c, const BlockTable& table,
+                                                     const AccessCounterTable& counters);
+};
+
+/// Tree-based page replacement (Ganguly et al. ISCA'19, discussed in this
+/// paper's related work): the victim chunk is chosen by LRU, but instead of
+/// displacing the entire 2 MB page, the eviction unit is the largest
+/// fully-resident prefetch-tree subtree containing the chunk's least
+/// recently used block — mirroring the granularity the tree prefetcher
+/// migrates at, and avoiding the full-page collateral damage of 2 MB LRU.
+/// Exposed as a pure function for testing.
+[[nodiscard]] std::vector<BlockNum> tree_eviction_subtree(ChunkNum c, const BlockTable& table);
+
+[[nodiscard]] std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind);
+
+/// Selects eviction victims for the driver. Scans the (small) chunk table;
+/// prefers fully-populated chunks per the NVIDIA semantics, falling back to
+/// the most-populated partially-resident chunk to guarantee progress.
+class EvictionManager {
+ public:
+  EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes);
+
+  [[nodiscard]] EvictionKind kind() const noexcept { return kind_; }
+
+  /// Victim blocks to evict to make progress, or empty when nothing is
+  /// evictable. With 2 MB granularity this is every resident block of the
+  /// victim chunk; with 64 KB granularity it is the coldest single block of
+  /// the victim chunk.
+  [[nodiscard]] std::vector<BlockNum> select_victims(const BlockTable& table,
+                                                     const AccessCounterTable& counters,
+                                                     const VictimQuery& q) const;
+
+  [[nodiscard]] const EvictionPolicy& policy() const noexcept { return *policy_; }
+
+ private:
+  std::unique_ptr<EvictionPolicy> policy_;
+  EvictionKind kind_;
+  std::uint64_t granularity_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,30 @@
+#include "mitigation/thrash_throttle.hpp"
+
+namespace uvmsim {
+
+void ThrashThrottle::note_fault(BlockNum b, Cycle now, std::uint32_t round_trips) {
+  if (!cfg_.enabled || round_trips < cfg_.detect_faults) return;
+  auto [it, inserted] = pinned_until_.try_emplace(b, 0);
+  if (now >= it->second) {
+    it->second = now + cfg_.pin_cooldown;
+    ++pins_;
+  }
+}
+
+bool ThrashThrottle::is_throttled(BlockNum b, Cycle now) const {
+  if (!cfg_.enabled) return false;
+  const auto it = pinned_until_.find(b);
+  return it != pinned_until_.end() && now < it->second;
+}
+
+void ThrashThrottle::trim(Cycle now) {
+  for (auto it = pinned_until_.begin(); it != pinned_until_.end();) {
+    if (now >= it->second) {
+      it = pinned_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace uvmsim

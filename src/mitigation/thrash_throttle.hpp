@@ -1,0 +1,49 @@
+// Driver-side thrashing mitigation, modelled after the nvidia-uvm
+// perf_thrashing heuristics the paper describes in §I: the runtime
+// "maintains lists of pages thrashed and pinned ... and throttles page
+// migration and prefetch decision for these pages". A basic block whose
+// residency has changed (round-tripped) too many times is temporarily
+// pinned to host memory — accesses are serviced zero-copy — for a cooldown
+// period, after which migration is retried.
+//
+// This is NOT part of the paper's proposed framework — it is the state of
+// practice the framework competes with. It is off by default and exercised
+// by the ablation benches to quantify how much of the adaptive scheme's win
+// plain per-page throttling can recover.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class ThrashThrottle {
+ public:
+  explicit ThrashThrottle(const ThrashThrottleConfig& cfg) : cfg_(cfg) {}
+
+  /// Record a re-fault on `b` whose residency has already changed
+  /// `round_trips` times; may transition the block into the pinned state.
+  /// Call before querying is_throttled for the same fault.
+  void note_fault(BlockNum b, Cycle now, std::uint32_t round_trips);
+
+  /// True while accesses to `b` must be serviced remotely.
+  [[nodiscard]] bool is_throttled(BlockNum b, Cycle now) const;
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled; }
+  [[nodiscard]] std::uint64_t pins() const noexcept { return pins_; }
+  [[nodiscard]] std::size_t tracked_blocks() const noexcept { return pinned_until_.size(); }
+
+  /// Drop expired pins (bounds the "considerable implementation and space
+  /// overhead" the paper ascribes to this scheme).
+  void trim(Cycle now);
+
+ private:
+  ThrashThrottleConfig cfg_;
+  std::unordered_map<BlockNum, Cycle> pinned_until_;
+  std::uint64_t pins_ = 0;
+};
+
+}  // namespace uvmsim

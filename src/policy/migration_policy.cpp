@@ -1,0 +1,63 @@
+#include "policy/migration_policy.hpp"
+
+namespace uvmsim {
+
+MigrationDecision StaticThresholdPolicy::decide(AccessType type, const CounterSnapshot& c,
+                                                const PolicyContext& ctx) const {
+  if (gate_on_oversub_ && !ctx.oversubscribed) return MigrationDecision::kMigrate;
+  if (type == AccessType::kWrite && write_migrates_) return MigrationDecision::kMigrate;
+  return c.post_count >= ts_ ? MigrationDecision::kMigrate : MigrationDecision::kRemoteAccess;
+}
+
+std::uint64_t StaticThresholdPolicy::effective_threshold(const CounterSnapshot&,
+                                                         const PolicyContext& ctx) const {
+  if (gate_on_oversub_ && !ctx.oversubscribed) return 1;
+  return ts_;
+}
+
+std::uint64_t adaptive_threshold(std::uint32_t ts, std::uint64_t resident_pages,
+                                 std::uint64_t capacity_pages, bool oversubscribed,
+                                 std::uint32_t round_trips, std::uint64_t penalty) noexcept {
+  if (!oversubscribed) {
+    // td = ts * allocated/total + 1; integer arithmetic floors the product,
+    // giving td = 1 (first touch) below 1/ts occupancy and td = ts just
+    // before the device fills, exactly as the paper's example walks through.
+    if (capacity_pages == 0) return 1;
+    return ts * resident_pages / capacity_pages + 1;
+  }
+  return static_cast<std::uint64_t>(ts) * (static_cast<std::uint64_t>(round_trips) + 1) *
+         penalty;
+}
+
+MigrationDecision AdaptivePolicy::decide(AccessType type, const CounterSnapshot& c,
+                                         const PolicyContext& ctx) const {
+  if (type == AccessType::kWrite && write_migrates_) return MigrationDecision::kMigrate;
+  const std::uint64_t td = adaptive_threshold(ts_, ctx.resident_pages, ctx.capacity_pages,
+                                              ctx.overcommitted, c.round_trips, penalty_);
+  return c.post_count >= td ? MigrationDecision::kMigrate : MigrationDecision::kRemoteAccess;
+}
+
+std::uint64_t AdaptivePolicy::effective_threshold(const CounterSnapshot& c,
+                                                  const PolicyContext& ctx) const {
+  return adaptive_threshold(ts_, ctx.resident_pages, ctx.capacity_pages, ctx.overcommitted,
+                            c.round_trips, penalty_);
+}
+
+std::unique_ptr<MigrationPolicy> make_policy(const PolicyConfig& cfg) {
+  switch (cfg.policy) {
+    case PolicyKind::kFirstTouch:
+      return std::make_unique<FirstTouchPolicy>();
+    case PolicyKind::kStaticAlways:
+      return std::make_unique<StaticThresholdPolicy>(cfg.static_threshold,
+                                                     cfg.write_triggers_migration, false);
+    case PolicyKind::kStaticOversub:
+      return std::make_unique<StaticThresholdPolicy>(cfg.static_threshold,
+                                                     cfg.write_triggers_migration, true);
+    case PolicyKind::kAdaptive:
+      return std::make_unique<AdaptivePolicy>(cfg.static_threshold, cfg.migration_penalty,
+                                              cfg.adaptive_write_migrates);
+  }
+  return nullptr;
+}
+
+}  // namespace uvmsim

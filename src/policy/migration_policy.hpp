@@ -1,0 +1,118 @@
+// Migration policies (paper §IV and §VI): given an access to a
+// host-resident basic block, decide between raising a far-fault (migrate)
+// and servicing the access remotely over zero-copy PCIe.
+//
+// * FirstTouchPolicy   — Baseline / "Disabled": always migrate.
+// * StaticThresholdPolicy (gate_on_oversub = false) — "Always": Volta-style
+//   static access-counter threshold ts from the start; writes migrate
+//   immediately.
+// * StaticThresholdPolicy (gate_on_oversub = true) — "Oversub": first-touch
+//   until the device first runs out of memory, static threshold afterwards.
+// * AdaptivePolicy     — this paper: dynamic threshold td (Equation 1)
+//       td = ts * allocated/total + 1      while never oversubscribed
+//       td = ts * (r + 1) * p              once oversubscribed
+//   where r is the block's round-trip (eviction) count. The dynamic
+//   threshold degrades to first touch on an empty device and hardens the
+//   pinning of thrashed blocks multiplicatively.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+/// Memory state snapshot the policy may consult.
+struct PolicyContext {
+  std::uint64_t resident_pages = 0;   ///< 4 KB pages currently allocated on device
+  std::uint64_t capacity_pages = 0;   ///< device capacity in 4 KB pages
+  /// The device has actually run out of space at least once (first eviction).
+  /// This dynamic event gates the "Oversub" static scheme.
+  bool oversubscribed = false;
+  /// The managed-allocation footprint exceeds device capacity — known to the
+  /// driver at allocation time. This is what selects Equation 1's branch for
+  /// the Adaptive scheme: under an overcommitted working set the dynamic
+  /// threshold hardens from the very first access, which is what lets a huge
+  /// penalty p approximate pure host-pinned zero-copy (paper §VI-D).
+  bool overcommitted = false;
+};
+
+/// Per-unit counter snapshot (value already includes this access).
+struct CounterSnapshot {
+  std::uint32_t post_count = 0;   ///< access count after the increment
+  std::uint32_t round_trips = 0;  ///< evictions suffered (r)
+};
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual MigrationDecision decide(AccessType type, const CounterSnapshot& c,
+                                                 const PolicyContext& ctx) const = 0;
+  /// Effective migration threshold for diagnostics ('inf' semantics never
+  /// arise: thresholds are finite).
+  [[nodiscard]] virtual std::uint64_t effective_threshold(const CounterSnapshot& c,
+                                                          const PolicyContext& ctx) const = 0;
+};
+
+class FirstTouchPolicy final : public MigrationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "first-touch"; }
+  [[nodiscard]] MigrationDecision decide(AccessType, const CounterSnapshot&,
+                                         const PolicyContext&) const override {
+    return MigrationDecision::kMigrate;
+  }
+  [[nodiscard]] std::uint64_t effective_threshold(const CounterSnapshot&,
+                                                  const PolicyContext&) const override {
+    return 1;
+  }
+};
+
+class StaticThresholdPolicy final : public MigrationPolicy {
+ public:
+  StaticThresholdPolicy(std::uint32_t ts, bool write_migrates, bool gate_on_oversub)
+      : ts_(ts), write_migrates_(write_migrates), gate_on_oversub_(gate_on_oversub) {}
+
+  [[nodiscard]] std::string name() const override {
+    return gate_on_oversub_ ? "static-oversub" : "static-always";
+  }
+  [[nodiscard]] MigrationDecision decide(AccessType type, const CounterSnapshot& c,
+                                         const PolicyContext& ctx) const override;
+  [[nodiscard]] std::uint64_t effective_threshold(const CounterSnapshot&,
+                                                  const PolicyContext& ctx) const override;
+
+ private:
+  std::uint32_t ts_;
+  bool write_migrates_;
+  bool gate_on_oversub_;
+};
+
+/// Equation 1 of the paper, exposed standalone for unit testing.
+[[nodiscard]] std::uint64_t adaptive_threshold(std::uint32_t ts, std::uint64_t resident_pages,
+                                               std::uint64_t capacity_pages, bool oversubscribed,
+                                               std::uint32_t round_trips,
+                                               std::uint64_t penalty) noexcept;
+
+class AdaptivePolicy final : public MigrationPolicy {
+ public:
+  AdaptivePolicy(std::uint32_t ts, std::uint64_t penalty, bool write_migrates)
+      : ts_(ts), penalty_(penalty), write_migrates_(write_migrates) {}
+
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+  [[nodiscard]] MigrationDecision decide(AccessType type, const CounterSnapshot& c,
+                                         const PolicyContext& ctx) const override;
+  [[nodiscard]] std::uint64_t effective_threshold(const CounterSnapshot& c,
+                                                  const PolicyContext& ctx) const override;
+
+ private:
+  std::uint32_t ts_;
+  std::uint64_t penalty_;
+  bool write_migrates_;
+};
+
+[[nodiscard]] std::unique_ptr<MigrationPolicy> make_policy(const PolicyConfig& cfg);
+
+}  // namespace uvmsim

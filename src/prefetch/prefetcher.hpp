@@ -1,0 +1,80 @@
+// Hardware prefetcher interface. The fault handler calls expand() for each
+// demand-faulted basic block; the prefetcher appends additional host-resident
+// blocks (within the same 2 MB chunk — prefetch never crosses a chunk) to
+// migrate alongside it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/block_table.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Append prefetch candidates for demand block `b` to `out`. Candidates
+  /// must be host-resident mapped blocks in b's chunk and must not repeat
+  /// blocks already in `out` (the demand block is not in `out`).
+  virtual void expand(BlockNum b, const BlockTable& table, std::vector<BlockNum>& out) = 0;
+};
+
+/// No prefetching: demand block only.
+class NoPrefetcher final : public Prefetcher {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  void expand(BlockNum, const BlockTable&, std::vector<BlockNum>&) override {}
+};
+
+/// Next-block neighbourhood prefetch (Zheng et al. style): pull the following
+/// `degree` host-resident blocks of the chunk.
+class SequentialPrefetcher final : public Prefetcher {
+ public:
+  explicit SequentialPrefetcher(std::uint32_t degree = 1) : degree_(degree) {}
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  void expand(BlockNum b, const BlockTable& table, std::vector<BlockNum>& out) override;
+
+ private:
+  std::uint32_t degree_;
+};
+
+/// Random block within the faulting chunk (a deliberately weak baseline).
+class RandomPrefetcher final : public Prefetcher {
+ public:
+  explicit RandomPrefetcher(std::uint64_t seed = 0x9e3779b9ull) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  void expand(BlockNum b, const BlockTable& table, std::vector<BlockNum>& out) override;
+
+ private:
+  Rng rng_;
+};
+
+/// The CUDA tree-based neighbourhood prefetcher (paper §II-B, Ganguly et al.
+/// ISCA'19). Each chunk is a full binary tree whose leaves are 64 KB blocks.
+/// Walking up from the faulted leaf, whenever a subtree's occupancy (resident
+/// + in-flight + already-selected leaves) exceeds 50 %, every remaining leaf
+/// of that subtree is scheduled, yielding prefetches of 64 KB ... 1 MB that
+/// opportunistically fill large pages.
+class TreePrefetcher final : public Prefetcher {
+ public:
+  [[nodiscard]] std::string name() const override { return "tree"; }
+  void expand(BlockNum b, const BlockTable& table, std::vector<BlockNum>& out) override;
+
+  /// Pure tree logic on a leaf occupancy bitmap; exposed for unit tests.
+  /// `occupied` bit i set when leaf i is occupied (the demand leaf must be
+  /// set by the caller). Returns the bitmap of leaves to prefetch.
+  [[nodiscard]] static std::uint32_t expand_mask(std::uint32_t occupied, std::uint32_t leaf,
+                                                 std::uint32_t num_leaves) noexcept;
+};
+
+[[nodiscard]] std::unique_ptr<Prefetcher> make_prefetcher(PrefetcherKind kind,
+                                                          std::uint64_t seed);
+
+}  // namespace uvmsim

@@ -1,0 +1,21 @@
+// Tidy-CSV export of RunResult statistics: one row per simulation with the
+// configuration axes as leading columns — the format the sweep tool emits
+// for downstream plotting of the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "sim/config.hpp"
+
+namespace uvmsim {
+
+/// Column header line (no trailing newline handling: writes '\n').
+void write_run_csv_header(std::ostream& os);
+
+/// One row describing `result` obtained with `cfg` on `workload`.
+void append_run_csv(std::ostream& os, const std::string& workload, const SimConfig& cfg,
+                    double oversub, const RunResult& result);
+
+}  // namespace uvmsim

@@ -1,0 +1,70 @@
+#include "report/run_json.hpp"
+
+#include <ostream>
+
+namespace uvmsim {
+
+namespace {
+
+const char* policy_slug(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kFirstTouch: return "baseline";
+    case PolicyKind::kStaticAlways: return "always";
+    case PolicyKind::kStaticOversub: return "oversub";
+    case PolicyKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+void field(std::ostream& os, const char* key, const std::string& v, bool comma = true) {
+  os << "  \"" << key << "\": \"" << v << '"' << (comma ? ",\n" : "\n");
+}
+void field(std::ostream& os, const char* key, std::uint64_t v, bool comma = true) {
+  os << "  \"" << key << "\": " << v << (comma ? ",\n" : "\n");
+}
+void field(std::ostream& os, const char* key, double v, bool comma = true) {
+  os << "  \"" << key << "\": " << v << (comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+void write_run_json(std::ostream& os, const std::string& workload, const SimConfig& cfg,
+                    double oversub, const RunResult& r) {
+  const SimStats& s = r.stats;
+  os << "{\n";
+  field(os, "workload", workload);
+  field(os, "policy", policy_slug(cfg.policy.policy));
+  field(os, "eviction", to_string(cfg.mem.eviction));
+  field(os, "prefetcher", to_string(cfg.mem.prefetcher));
+  field(os, "ts", static_cast<std::uint64_t>(cfg.policy.static_threshold));
+  field(os, "penalty", cfg.policy.migration_penalty);
+  field(os, "oversub", oversub);
+  field(os, "footprint_bytes", r.footprint_bytes);
+  field(os, "capacity_bytes", r.capacity_bytes);
+  field(os, "preload_cycles", r.preload_cycles);
+  field(os, "kernel_cycles", s.kernel_cycles);
+  field(os, "kernel_ms", r.kernel_ms(cfg.gpu.core_clock_ghz));
+  field(os, "total_cycles", s.total_cycles);
+  field(os, "total_accesses", s.total_accesses);
+  field(os, "local_accesses", s.local_accesses);
+  field(os, "remote_accesses", s.remote_accesses);
+  field(os, "peer_accesses", s.peer_accesses);
+  field(os, "far_faults", s.far_faults);
+  field(os, "fault_batches", s.fault_batches);
+  field(os, "blocks_migrated", s.blocks_migrated);
+  field(os, "blocks_prefetched", s.blocks_prefetched);
+  field(os, "bytes_h2d", s.bytes_h2d);
+  field(os, "bytes_d2h", s.bytes_d2h);
+  field(os, "evictions", s.evictions);
+  field(os, "pages_evicted", s.pages_evicted);
+  field(os, "writeback_pages", s.writeback_pages);
+  field(os, "pages_thrashed", s.pages_thrashed);
+  field(os, "distinct_pages_thrashed", s.distinct_pages_thrashed);
+  field(os, "tlb_hits", s.tlb_hits);
+  field(os, "tlb_misses", s.tlb_misses);
+  field(os, "l2_hits", s.l2_hits);
+  field(os, "l2_misses", s.l2_misses, /*comma=*/false);
+  os << "}\n";
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,19 @@
+// JSON export of run results — one self-describing object per simulation,
+// convenient for notebooks and dashboards (the CSV exporter is the
+// column-oriented sibling).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "sim/config.hpp"
+
+namespace uvmsim {
+
+/// Serialize `result` (with its configuration axes) as a JSON object.
+/// Pretty-printed with two-space indentation; no external dependencies.
+void write_run_json(std::ostream& os, const std::string& workload, const SimConfig& cfg,
+                    double oversub, const RunResult& result);
+
+}  // namespace uvmsim

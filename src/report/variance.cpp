@@ -1,0 +1,41 @@
+#include "report/variance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uvmsim {
+
+SampleStats summarize_samples(const std::vector<double>& samples) {
+  SampleStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+std::vector<double> kernel_cycles_across_seeds(const std::string& workload,
+                                               const SimConfig& cfg, double oversub,
+                                               WorkloadParams params,
+                                               std::size_t num_seeds) {
+  std::vector<double> out;
+  out.reserve(num_seeds);
+  const std::uint64_t base_seed = params.seed;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    params.seed = base_seed + i;
+    const RunResult r = run_workload(workload, cfg, oversub, params);
+    out.push_back(static_cast<double>(r.stats.kernel_cycles));
+  }
+  return out;
+}
+
+}  // namespace uvmsim

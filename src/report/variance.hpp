@@ -1,0 +1,36 @@
+// Multi-seed statistics: irregular workloads are input-dependent (random
+// graphs, random tables), so any reported factor should come with its
+// spread. Runs the same configuration across N workload seeds and reports
+// mean / stddev / min / max of the kernel time and of any derived ratio.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace uvmsim {
+
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double cv() const noexcept { return mean == 0.0 ? 0.0 : stddev / mean; }
+};
+
+/// Summary statistics over a sample (empty input -> zeros).
+[[nodiscard]] SampleStats summarize_samples(const std::vector<double>& samples);
+
+/// Run `workload` under `cfg` at `oversub` for `num_seeds` different
+/// workload seeds (params.seed + i); returns the per-seed kernel cycles.
+[[nodiscard]] std::vector<double> kernel_cycles_across_seeds(const std::string& workload,
+                                                             const SimConfig& cfg,
+                                                             double oversub,
+                                                             WorkloadParams params,
+                                                             std::size_t num_seeds);
+
+}  // namespace uvmsim

@@ -1,0 +1,109 @@
+#include "sim/config.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace uvmsim {
+
+std::string to_string(EvictionKind k) {
+  switch (k) {
+    case EvictionKind::kLru: return "LRU";
+    case EvictionKind::kLfu: return "LFU";
+    case EvictionKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+std::string to_string(PrefetcherKind k) {
+  switch (k) {
+    case PrefetcherKind::kNone: return "none";
+    case PrefetcherKind::kSequential: return "sequential";
+    case PrefetcherKind::kRandom: return "random";
+    case PrefetcherKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+std::string to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kFirstTouch: return "first-touch (Baseline/Disabled)";
+    case PolicyKind::kStaticAlways: return "static threshold (Always)";
+    case PolicyKind::kStaticOversub: return "static threshold after oversub (Oversub)";
+    case PolicyKind::kAdaptive: return "dynamic threshold (Adaptive)";
+  }
+  return "?";
+}
+
+Cycle SimConfig::far_fault_cycles() const noexcept {
+  return static_cast<Cycle>(std::llround(xfer.far_fault_latency_us * 1e3 *
+                                         gpu.core_clock_ghz));
+}
+
+Cycle SimConfig::launch_overhead_cycles() const noexcept {
+  return static_cast<Cycle>(std::llround(kernel_launch_overhead_us * 1e3 *
+                                         gpu.core_clock_ghz));
+}
+
+double SimConfig::pcie_bytes_per_cycle() const noexcept {
+  // GB/s / (Gcycle/s) = bytes/cycle.
+  return xfer.pcie_bandwidth_gbps / gpu.core_clock_ghz;
+}
+
+double SimConfig::dram_bytes_per_cycle() const noexcept {
+  return gpu.dram_bandwidth_gbps / gpu.core_clock_ghz;
+}
+
+void SimConfig::validate() const {
+  auto fail = [](const std::string& what) { throw std::invalid_argument("SimConfig: " + what); };
+  if (gpu.num_sms == 0) fail("num_sms must be > 0");
+  if (gpu.warps_per_sm == 0) fail("warps_per_sm must be > 0");
+  if (gpu.core_clock_ghz <= 0) fail("core_clock_ghz must be > 0");
+  if (gpu.dram_bandwidth_gbps <= 0) fail("dram_bandwidth_gbps must be > 0");
+  if (xfer.pcie_bandwidth_gbps <= 0) fail("pcie_bandwidth_gbps must be > 0");
+  if (xfer.far_fault_latency_us < 0) fail("far_fault_latency_us must be >= 0");
+  if (xfer.fault_batch_max == 0) fail("fault_batch_max must be > 0");
+  if (mem.device_capacity_bytes < kLargePageSize)
+    fail("device_capacity_bytes must hold at least one 2MB large page");
+  if (mem.device_capacity_bytes % kBasicBlockSize != 0)
+    fail("device_capacity_bytes must be a multiple of the 64KB basic block");
+  if (mem.eviction_granularity != kLargePageSize &&
+      mem.eviction_granularity != kBasicBlockSize)
+    fail("eviction_granularity must be 2MB or 64KB");
+  if (mem.counter_granularity != kBasicBlockSize &&
+      mem.counter_granularity != kPageSize)
+    fail("counter_granularity must be 64KB or 4KB");
+  if (policy.static_threshold == 0) fail("static_threshold (ts) must be >= 1");
+  if (policy.migration_penalty == 0) fail("migration_penalty (p) must be >= 1");
+}
+
+std::string describe(const SimConfig& cfg) {
+  std::ostringstream os;
+  os << "Simulator               uvmsim (GPGPU-Sim UVM Smart equivalent)\n"
+     << "GPU Architecture        Pascal-like, " << cfg.gpu.num_sms << " SMs @ "
+     << cfg.gpu.core_clock_ghz * 1e3 << " MHz, " << cfg.gpu.warps_per_sm
+     << " warp contexts/SM\n"
+     << "Page Size               " << kPageSize / 1024 << " KB\n"
+     << "Basic Block             " << kBasicBlockSize / 1024 << " KB\n"
+     << "Page Table Walk Latency " << cfg.gpu.page_walk_latency << " core cycles\n"
+     << "CPU-GPU Interconnect    PCIe 3.0 16x, " << cfg.xfer.pcie_bandwidth_gbps
+     << " GB/s, " << cfg.xfer.pcie_latency << " core cycles latency\n"
+     << "DRAM Latency            " << cfg.gpu.dram_latency << " core cycles\n"
+     << "Remote Zero-copy Latency " << cfg.xfer.remote_access_latency
+     << " core cycles\n"
+     << "Device Capacity         " << (cfg.mem.device_capacity_bytes >> 20)
+     << " MB\n"
+     << "Eviction Granularity    " << (cfg.mem.eviction_granularity >> 10)
+     << " KB\n"
+     << "Page Replacement Policy " << to_string(cfg.mem.eviction) << "\n"
+     << "Far-fault Handling      " << cfg.xfer.far_fault_latency_us << " us ("
+     << cfg.far_fault_cycles() << " cycles)\n"
+     << "Hardware Prefetcher     " << to_string(cfg.mem.prefetcher) << "\n"
+     << "Migration Policy        " << to_string(cfg.policy.policy) << "\n"
+     << "Static Access Threshold ts = " << cfg.policy.static_threshold << "\n"
+     << "Migration Penalty       p = " << cfg.policy.migration_penalty << "\n"
+     << "Counter Granularity     " << (cfg.mem.counter_granularity >> 10)
+     << " KB\n";
+  return os.str();
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,351 @@
+#include "sim/config_parse.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace uvmsim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  const std::string s = lower(v);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("config: bad boolean for " + key + ": " + v);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t out = std::stoull(v, &pos, 0);
+    // Allow unit suffixes KB/MB/GB (powers of two).
+    const std::string suffix = lower(trim(v.substr(pos)));
+    if (suffix.empty()) return out;
+    if (suffix == "kb" || suffix == "k") return out << 10;
+    if (suffix == "mb" || suffix == "m") return out << 20;
+    if (suffix == "gb" || suffix == "g") return out << 30;
+    throw std::invalid_argument("bad suffix");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: bad integer for " + key + ": " + v);
+  }
+}
+
+double parse_f64(const std::string& key, const std::string& v) {
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: bad number for " + key + ": " + v);
+  }
+}
+
+PolicyKind parse_policy(const std::string& key, const std::string& v) {
+  const std::string s = lower(v);
+  if (s == "baseline" || s == "first-touch" || s == "disabled") return PolicyKind::kFirstTouch;
+  if (s == "always") return PolicyKind::kStaticAlways;
+  if (s == "oversub") return PolicyKind::kStaticOversub;
+  if (s == "adaptive") return PolicyKind::kAdaptive;
+  throw std::invalid_argument("config: bad policy for " + key + ": " + v);
+}
+
+EvictionKind parse_eviction(const std::string& key, const std::string& v) {
+  const std::string s = lower(v);
+  if (s == "lru") return EvictionKind::kLru;
+  if (s == "lfu") return EvictionKind::kLfu;
+  if (s == "tree") return EvictionKind::kTree;
+  throw std::invalid_argument("config: bad eviction for " + key + ": " + v);
+}
+
+PrefetcherKind parse_prefetcher(const std::string& key, const std::string& v) {
+  const std::string s = lower(v);
+  if (s == "none") return PrefetcherKind::kNone;
+  if (s == "sequential") return PrefetcherKind::kSequential;
+  if (s == "random") return PrefetcherKind::kRandom;
+  if (s == "tree") return PrefetcherKind::kTree;
+  throw std::invalid_argument("config: bad prefetcher for " + key + ": " + v);
+}
+
+using Setter = std::function<void(SimConfig&, const std::string&, const std::string&)>;
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> table{
+      // GPU.
+      {"gpu.num_sms",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.num_sms = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      {"gpu.warps_per_sm",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.warps_per_sm = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      {"gpu.core_clock_ghz",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.core_clock_ghz = parse_f64(k, v);
+       }},
+      {"gpu.dram_latency",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.dram_latency = parse_u64(k, v);
+       }},
+      {"gpu.dram_bandwidth_gbps",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.dram_bandwidth_gbps = parse_f64(k, v);
+       }},
+      {"gpu.page_walk_latency",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.page_walk_latency = parse_u64(k, v);
+       }},
+      {"gpu.tlb_entries_per_sm",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.tlb_entries_per_sm = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      {"gpu.l2.enabled",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.l2.enabled = parse_bool(k, v);
+       }},
+      {"gpu.l2.size_bytes",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.l2.size_bytes = parse_u64(k, v);
+       }},
+      {"gpu.l2.ways",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.gpu.l2.ways = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      // Interconnect.
+      {"xfer.pcie_bandwidth_gbps",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.pcie_bandwidth_gbps = parse_f64(k, v);
+       }},
+      {"xfer.host_memory_bandwidth_gbps",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.host_memory_bandwidth_gbps = parse_f64(k, v);
+       }},
+      {"xfer.pcie_latency",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.pcie_latency = parse_u64(k, v);
+       }},
+      {"xfer.remote_access_latency",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.remote_access_latency = parse_u64(k, v);
+       }},
+      {"xfer.remote_overhead_bytes",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.remote_overhead_bytes = parse_u64(k, v);
+       }},
+      {"xfer.far_fault_latency_us",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.far_fault_latency_us = parse_f64(k, v);
+       }},
+      {"xfer.fault_batch_max",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.fault_batch_max = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      {"xfer.fault_batch_window",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.xfer.fault_batch_window = parse_u64(k, v);
+       }},
+      // Memory management.
+      {"mem.device_capacity_bytes",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.device_capacity_bytes = parse_u64(k, v);
+       }},
+      {"mem.eviction",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.eviction = parse_eviction(k, v);
+       }},
+      {"mem.prefetcher",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.prefetcher = parse_prefetcher(k, v);
+       }},
+      {"mem.eviction_granularity",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.eviction_granularity = parse_u64(k, v);
+       }},
+      {"mem.eviction_protect_cycles",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.eviction_protect_cycles = parse_u64(k, v);
+       }},
+      {"mem.counter_granularity",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.counter_granularity = parse_u64(k, v);
+       }},
+      {"mem.oversubscription",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.oversubscription = parse_f64(k, v);
+       }},
+      // Policy.
+      {"policy",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.policy.policy = parse_policy(k, v);
+       }},
+      {"policy.static_threshold",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.policy.static_threshold = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      {"policy.migration_penalty",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.policy.migration_penalty = parse_u64(k, v);
+       }},
+      {"policy.write_triggers_migration",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.policy.write_triggers_migration = parse_bool(k, v);
+       }},
+      {"policy.adaptive_write_migrates",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.policy.adaptive_write_migrates = parse_bool(k, v);
+       }},
+      {"policy.historic_counters_override",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.policy.historic_counters_override = parse_bool(k, v);
+       }},
+      // Mitigation.
+      {"mitigation.enabled",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mitigation.enabled = parse_bool(k, v);
+       }},
+      {"mitigation.detect_faults",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mitigation.detect_faults = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
+      {"mitigation.pin_cooldown",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mitigation.pin_cooldown = parse_u64(k, v);
+       }},
+      // Misc.
+      {"rng_seed",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.rng_seed = parse_u64(k, v);
+       }},
+      {"copy_then_execute",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.copy_then_execute = parse_bool(k, v);
+       }},
+      {"kernel_launch_overhead_us",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.kernel_launch_overhead_us = parse_f64(k, v);
+       }},
+  };
+  return table;
+}
+
+}  // namespace
+
+void apply_config_setting(SimConfig& cfg, const std::string& key, const std::string& value) {
+  const std::string k = lower(trim(key));
+  const auto it = setters().find(k);
+  if (it == setters().end()) {
+    throw std::invalid_argument("config: unknown key '" + k + "'");
+  }
+  it->second(cfg, k, trim(value));
+}
+
+void apply_config_setting(SimConfig& cfg, const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("config: expected key=value, got '" + assignment + "'");
+  }
+  apply_config_setting(cfg, assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+std::size_t load_config_stream(SimConfig& cfg, std::istream& is) {
+  std::size_t applied = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    apply_config_setting(cfg, line);
+    ++applied;
+  }
+  return applied;
+}
+
+std::string to_config_string(const SimConfig& c) {
+  std::ostringstream os;
+  os.precision(17);
+  auto b = [](bool v) { return v ? "true" : "false"; };
+  const char* policy = "baseline";
+  switch (c.policy.policy) {
+    case PolicyKind::kFirstTouch: policy = "baseline"; break;
+    case PolicyKind::kStaticAlways: policy = "always"; break;
+    case PolicyKind::kStaticOversub: policy = "oversub"; break;
+    case PolicyKind::kAdaptive: policy = "adaptive"; break;
+  }
+  const char* eviction = c.mem.eviction == EvictionKind::kLru   ? "lru"
+                         : c.mem.eviction == EvictionKind::kLfu ? "lfu"
+                                                                : "tree";
+  const char* prefetcher = "tree";
+  switch (c.mem.prefetcher) {
+    case PrefetcherKind::kNone: prefetcher = "none"; break;
+    case PrefetcherKind::kSequential: prefetcher = "sequential"; break;
+    case PrefetcherKind::kRandom: prefetcher = "random"; break;
+    case PrefetcherKind::kTree: prefetcher = "tree"; break;
+  }
+  os << "gpu.num_sms = " << c.gpu.num_sms << '\n'
+     << "gpu.warps_per_sm = " << c.gpu.warps_per_sm << '\n'
+     << "gpu.core_clock_ghz = " << c.gpu.core_clock_ghz << '\n'
+     << "gpu.dram_latency = " << c.gpu.dram_latency << '\n'
+     << "gpu.dram_bandwidth_gbps = " << c.gpu.dram_bandwidth_gbps << '\n'
+     << "gpu.page_walk_latency = " << c.gpu.page_walk_latency << '\n'
+     << "gpu.tlb_entries_per_sm = " << c.gpu.tlb_entries_per_sm << '\n'
+     << "gpu.l2.enabled = " << b(c.gpu.l2.enabled) << '\n'
+     << "gpu.l2.size_bytes = " << c.gpu.l2.size_bytes << '\n'
+     << "gpu.l2.ways = " << c.gpu.l2.ways << '\n'
+     << "xfer.pcie_bandwidth_gbps = " << c.xfer.pcie_bandwidth_gbps << '\n'
+     << "xfer.host_memory_bandwidth_gbps = " << c.xfer.host_memory_bandwidth_gbps << '\n'
+     << "xfer.pcie_latency = " << c.xfer.pcie_latency << '\n'
+     << "xfer.remote_access_latency = " << c.xfer.remote_access_latency << '\n'
+     << "xfer.remote_overhead_bytes = " << c.xfer.remote_overhead_bytes << '\n'
+     << "xfer.far_fault_latency_us = " << c.xfer.far_fault_latency_us << '\n'
+     << "xfer.fault_batch_max = " << c.xfer.fault_batch_max << '\n'
+     << "xfer.fault_batch_window = " << c.xfer.fault_batch_window << '\n'
+     << "mem.device_capacity_bytes = " << c.mem.device_capacity_bytes << '\n'
+     << "mem.eviction = " << eviction << '\n'
+     << "mem.prefetcher = " << prefetcher << '\n'
+     << "mem.eviction_granularity = " << c.mem.eviction_granularity << '\n'
+     << "mem.eviction_protect_cycles = " << c.mem.eviction_protect_cycles << '\n'
+     << "mem.counter_granularity = " << c.mem.counter_granularity << '\n'
+     << "mem.oversubscription = " << c.mem.oversubscription << '\n'
+     << "policy = " << policy << '\n'
+     << "policy.static_threshold = " << c.policy.static_threshold << '\n'
+     << "policy.migration_penalty = " << c.policy.migration_penalty << '\n'
+     << "policy.write_triggers_migration = " << b(c.policy.write_triggers_migration) << '\n'
+     << "policy.adaptive_write_migrates = " << b(c.policy.adaptive_write_migrates) << '\n'
+     << "policy.historic_counters_override = " << b(c.policy.historic_counters_override)
+     << '\n'
+     << "mitigation.enabled = " << b(c.mitigation.enabled) << '\n'
+     << "mitigation.detect_faults = " << c.mitigation.detect_faults << '\n'
+     << "mitigation.pin_cooldown = " << c.mitigation.pin_cooldown << '\n'
+     << "rng_seed = " << c.rng_seed << '\n'
+     << "copy_then_execute = " << b(c.copy_then_execute) << '\n'
+     << "kernel_launch_overhead_us = " << c.kernel_launch_overhead_us << '\n';
+  return os.str();
+}
+
+const std::vector<std::string>& config_keys() {
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> v;
+    for (const auto& [k, _] : setters()) v.push_back(k);
+    return v;
+  }();
+  return keys;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,43 @@
+// Key=value configuration parsing: apply textual settings to a SimConfig.
+// Used by the CLI's --set and --config-file options so experiment scripts
+// can drive every knob without recompiling.
+//
+//   policy = adaptive
+//   mem.eviction = lfu
+//   policy.static_threshold = 16
+//   xfer.pcie_bandwidth_gbps = 31.5   # PCIe 4.0
+//   gpu.l2.enabled = true
+//
+// Lines starting with '#' (or after an inline '#') are comments; blank
+// lines are ignored. Unknown keys and malformed values throw
+// std::invalid_argument with the offending key in the message.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace uvmsim {
+
+/// Apply one "key = value" assignment to `cfg`. Throws on unknown keys or
+/// unparsable values.
+void apply_config_setting(SimConfig& cfg, const std::string& key, const std::string& value);
+
+/// Parse "key=value" (one string, as passed to --set).
+void apply_config_setting(SimConfig& cfg, const std::string& assignment);
+
+/// Read a whole config file (one assignment per line, # comments).
+/// Returns the number of assignments applied.
+std::size_t load_config_stream(SimConfig& cfg, std::istream& is);
+
+/// The list of recognized keys (for --help and error messages).
+[[nodiscard]] const std::vector<std::string>& config_keys();
+
+/// Serialize `cfg` as key=value lines that load_config_stream() re-applies
+/// to reproduce it exactly (experiment provenance). Covers every key in
+/// config_keys().
+[[nodiscard]] std::string to_config_string(const SimConfig& cfg);
+
+}  // namespace uvmsim

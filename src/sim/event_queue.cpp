@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace uvmsim {
+
+void EventQueue::schedule_at(Cycle when, Action act) {
+  if (when < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  heap_.push(Node{when, next_seq_++, std::move(act)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out, so copy the
+  // node header and take the action via const_cast before pop (safe: the node
+  // is discarded immediately).
+  auto& top = const_cast<Node&>(heap_.top());
+  Cycle when = top.when;
+  Action act = std::move(top.act);
+  heap_.pop();
+  now_ = when;
+  ++executed_;
+  act();
+  return true;
+}
+
+Cycle EventQueue::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+std::uint64_t EventQueue::run_bounded(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace uvmsim

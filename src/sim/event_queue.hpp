@@ -1,0 +1,54 @@
+// Discrete-event kernel: a monotonic cycle clock plus a priority queue of
+// (cycle, sequence, action) events. Sequence numbers break ties so that
+// same-cycle events fire in schedule order (deterministic replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `act` to run at absolute cycle `when` (must be >= now()).
+  void schedule_at(Cycle when, Action act);
+  /// Schedule `act` to run `delay` cycles after now().
+  void schedule_in(Cycle delay, Action act) { schedule_at(now_ + delay, std::move(act)); }
+
+  /// Pop and run the next event; returns false when the queue is empty.
+  bool step();
+  /// Run until the queue drains; returns the final clock value.
+  Cycle run();
+  /// Run at most `max_events` events (guard for tests); returns events run.
+  std::uint64_t run_bounded(std::uint64_t max_events);
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Node {
+    Cycle when;
+    std::uint64_t seq;
+    Action act;
+  };
+  struct Later {
+    bool operator()(const Node& a, const Node& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Node, std::vector<Node>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace uvmsim

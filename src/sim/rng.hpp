@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+// xoshiro256** seeded via splitmix64 — fast, reproducible across platforms,
+// and independent of libstdc++'s distribution implementations (we implement
+// the few distributions we need ourselves so traces are bit-stable).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace uvmsim {
+
+/// splitmix64 step; used for seeding and cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0xdecafbadull) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (bound > 0).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // 128-bit multiply keeps the modulo bias negligible for our bounds.
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  constexpr bool chance(double probability) noexcept { return uniform() < probability; }
+
+  /// Zipf-like rank selection over [0, n): returns small ranks with
+  /// probability proportional to rank^-alpha (approximate inverse-CDF via
+  /// rejection-free power transform; adequate for workload skew synthesis).
+  std::uint64_t zipf(std::uint64_t n, double alpha) noexcept {
+    if (n <= 1) return 0;
+    if (alpha <= 0.0) return below(n);
+    // Inverse-transform of the continuous Pareto envelope, clamped to [0,n).
+    const double u = uniform();
+    const double exponent = 1.0 / (1.0 - alpha + 1e-12);
+    double x;
+    if (alpha > 0.999 && alpha < 1.001) {
+      x = std::exp(u * std::log(static_cast<double>(n))) - 1.0;
+    } else {
+      const double nn = static_cast<double>(n);
+      x = std::pow(u * (std::pow(nn, 1.0 - alpha) - 1.0) + 1.0, exponent) - 1.0;
+    }
+    auto r = static_cast<std::uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,60 @@
+// Run statistics collected by the simulator. A plain value struct (not a
+// global registry): each Simulator owns one and returns it in RunResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+struct SimStats {
+  // Access mix.
+  std::uint64_t total_accesses = 0;
+  std::uint64_t local_accesses = 0;       ///< device-resident hits
+  std::uint64_t remote_accesses = 0;      ///< zero-copy over PCIe
+  std::uint64_t peer_accesses = 0;        ///< zero-copy served from a peer GPU
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t l2_hits = 0;        ///< only when the L2 model is enabled
+  std::uint64_t l2_misses = 0;
+
+  // Fault path.
+  std::uint64_t far_faults = 0;           ///< warp-visible faults raised
+  std::uint64_t fault_batches = 0;        ///< batches the fault engine drained
+  std::uint64_t replayed_accesses = 0;    ///< accesses resumed after a fault
+
+  // Migration traffic.
+  std::uint64_t blocks_migrated = 0;      ///< 64 KB H2D migrations (demand)
+  std::uint64_t blocks_prefetched = 0;    ///< 64 KB H2D migrations (prefetch)
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+
+  // Eviction / thrashing.
+  std::uint64_t evictions = 0;            ///< large-page eviction operations
+  std::uint64_t pages_evicted = 0;        ///< 4 KB pages displaced
+  std::uint64_t writeback_pages = 0;      ///< dirty 4 KB pages written back
+  std::uint64_t pages_thrashed = 0;       ///< re-migrations of evicted pages
+  std::uint64_t distinct_pages_thrashed = 0;
+
+  // Counter maintenance.
+  std::uint64_t counter_halvings = 0;
+
+  // Policy decisions.
+  std::uint64_t decide_migrate = 0;
+  std::uint64_t decide_remote = 0;
+  std::uint64_t write_forced_migrations = 0;
+
+  // Timing.
+  Cycle kernel_cycles = 0;                ///< sum over kernel launches
+  Cycle total_cycles = 0;                 ///< end-of-simulation clock
+
+  /// Merge (sum) another stats block into this one.
+  void accumulate(const SimStats& other) noexcept;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string report() const;
+};
+
+}  // namespace uvmsim

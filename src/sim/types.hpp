@@ -1,0 +1,80 @@
+// Fundamental types and memory-geometry constants shared across the
+// simulator. Geometry follows the NVIDIA UVM driver conventions described in
+// the paper: 4 KB pages, 64 KB basic blocks (migration/prefetch unit),
+// 2 MB large pages (eviction unit).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace uvmsim {
+
+using Cycle = std::uint64_t;          ///< GPU core clock cycles.
+using VirtAddr = std::uint64_t;       ///< Byte address in the unified VA space.
+using PageNum = std::uint64_t;        ///< VA >> kPageShift.
+using BlockNum = std::uint64_t;       ///< VA >> kBasicBlockShift.
+using ChunkNum = std::uint64_t;       ///< VA >> kLargePageShift.
+using WarpId = std::uint32_t;
+using AllocId = std::uint32_t;
+using KernelId = std::uint32_t;
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr AllocId kInvalidAlloc = std::numeric_limits<AllocId>::max();
+
+inline constexpr std::uint64_t kPageShift = 12;                 // 4 KB
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+inline constexpr std::uint64_t kBasicBlockShift = 16;           // 64 KB
+inline constexpr std::uint64_t kBasicBlockSize = 1ull << kBasicBlockShift;
+inline constexpr std::uint64_t kLargePageShift = 21;            // 2 MB
+inline constexpr std::uint64_t kLargePageSize = 1ull << kLargePageShift;
+
+inline constexpr std::uint64_t kPagesPerBlock = kBasicBlockSize / kPageSize;        // 16
+inline constexpr std::uint64_t kBlocksPerLargePage = kLargePageSize / kBasicBlockSize; // 32
+inline constexpr std::uint64_t kPagesPerLargePage = kLargePageSize / kPageSize;     // 512
+
+/// Size of one coalesced warp memory transaction (32 threads x 4 B).
+inline constexpr std::uint32_t kWarpAccessBytes = 128;
+
+[[nodiscard]] constexpr PageNum page_of(VirtAddr a) noexcept { return a >> kPageShift; }
+[[nodiscard]] constexpr BlockNum block_of(VirtAddr a) noexcept { return a >> kBasicBlockShift; }
+[[nodiscard]] constexpr ChunkNum chunk_of(VirtAddr a) noexcept { return a >> kLargePageShift; }
+[[nodiscard]] constexpr BlockNum block_of_page(PageNum p) noexcept {
+  return p >> (kBasicBlockShift - kPageShift);
+}
+[[nodiscard]] constexpr ChunkNum chunk_of_block(BlockNum b) noexcept {
+  return b >> (kLargePageShift - kBasicBlockShift);
+}
+[[nodiscard]] constexpr BlockNum first_block_of_chunk(ChunkNum c) noexcept {
+  return c << (kLargePageShift - kBasicBlockShift);
+}
+[[nodiscard]] constexpr PageNum first_page_of_block(BlockNum b) noexcept {
+  return b << (kBasicBlockShift - kPageShift);
+}
+[[nodiscard]] constexpr VirtAddr addr_of_block(BlockNum b) noexcept {
+  return b << kBasicBlockShift;
+}
+
+[[nodiscard]] constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t align) noexcept {
+  return (v + align - 1) / align * align;
+}
+[[nodiscard]] constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Where a block's backing physical copy currently lives.
+enum class Residence : std::uint8_t {
+  kHost,    ///< resident only in host memory (default after allocation)
+  kDevice,  ///< resident in device local memory
+  kInFlight ///< migration H2D in progress; readers stall until arrival
+};
+
+/// Kind of memory access issued by a warp.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// Outcome of the migration-policy consultation for a host-resident block.
+enum class MigrationDecision : std::uint8_t {
+  kMigrate,      ///< raise a far-fault and migrate the block to the device
+  kRemoteAccess  ///< service over PCIe zero-copy; block stays on host
+};
+
+}  // namespace uvmsim

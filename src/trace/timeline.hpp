@@ -1,0 +1,46 @@
+// Timeline: periodic snapshots of driver state over the simulation —
+// device occupancy, cumulative faults/migrations/remote traffic — for
+// plotting the temporal behaviour of a policy (how fast memory fills, when
+// thrash sets in, how the remote share evolves).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+struct TimelineSample {
+  Cycle cycle = 0;
+  std::uint64_t used_blocks = 0;
+  std::uint64_t capacity_blocks = 0;
+  std::uint64_t far_faults = 0;
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t pages_thrashed = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+
+  [[nodiscard]] double occupancy() const noexcept {
+    return capacity_blocks == 0
+               ? 0.0
+               : static_cast<double>(used_blocks) / static_cast<double>(capacity_blocks);
+  }
+};
+
+class Timeline {
+ public:
+  void add(const TimelineSample& s) { samples_.push_back(s); }
+  [[nodiscard]] const std::vector<TimelineSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// CSV: cycle,occupancy,used_blocks,far_faults,remote,thrashed,h2d,d2h.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,94 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace uvmsim {
+
+PageHistogram::PageHistogram(const AddressSpace& space) : space_(space) {
+  const std::uint64_t pages = space.span_end() >> kPageShift;
+  reads_.assign(pages, 0);
+  writes_.assign(pages, 0);
+}
+
+void PageHistogram::on_access(Cycle /*now*/, VirtAddr addr, AccessType type,
+                              std::uint32_t count, bool /*device_resident*/) {
+  const PageNum p = page_of(addr);
+  if (p >= reads_.size()) return;
+  if (type == AccessType::kWrite) {
+    writes_[p] += count;
+  } else {
+    reads_[p] += count;
+  }
+}
+
+std::vector<PageHistogram::AllocSummary> PageHistogram::summarize() const {
+  std::vector<AllocSummary> out;
+  for (const Allocation& a : space_.allocations()) {
+    AllocSummary s;
+    s.name = a.name;
+    const PageNum first = page_of(a.base);
+    const PageNum last = page_of(a.base + a.padded_size - 1);
+    s.pages = last - first + 1;
+    std::vector<std::uint64_t> touched;
+    for (PageNum p = first; p <= last; ++p) {
+      const std::uint64_t t = reads_[p] + writes_[p];
+      if (t == 0) continue;
+      ++s.touched_pages;
+      s.total_accesses += t;
+      s.max_page_accesses = std::max(s.max_page_accesses, t);
+      if (writes_[p] == 0) {
+        ++s.read_only_pages;
+      } else {
+        ++s.written_pages;
+      }
+      touched.push_back(t);
+    }
+    if (!touched.empty()) {
+      s.mean_accesses_per_touched_page =
+          static_cast<double>(s.total_accesses) / static_cast<double>(touched.size());
+      std::sort(touched.begin(), touched.end(), std::greater<>());
+      const std::size_t decile = std::max<std::size_t>(1, touched.size() / 10);
+      std::uint64_t top = 0;
+      for (std::size_t i = 0; i < decile; ++i) top += touched[i];
+      s.top_decile_share = static_cast<double>(top) / static_cast<double>(s.total_accesses);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void PageHistogram::write_csv(std::ostream& os) const {
+  os << "allocation,page_index,reads,writes\n";
+  for (const Allocation& a : space_.allocations()) {
+    const PageNum first = page_of(a.base);
+    const PageNum last = page_of(a.base + a.padded_size - 1);
+    for (PageNum p = first; p <= last; ++p) {
+      if (reads_[p] + writes_[p] == 0) continue;
+      os << a.name << ',' << (p - first) << ',' << reads_[p] << ',' << writes_[p] << '\n';
+    }
+  }
+}
+
+void TimeSeriesSampler::on_access(Cycle now, VirtAddr addr, AccessType type,
+                                  std::uint32_t /*count*/, bool /*device_resident*/) {
+  if (seen_++ % stride_ != 0) return;
+  samples_.push_back(Sample{now, page_of(addr), launch_, type});
+}
+
+void TimeSeriesSampler::on_kernel_begin(std::uint32_t launch_index, const std::string& name) {
+  launch_ = launch_index;
+  names_.resize(std::max<std::size_t>(names_.size(), launch_index + 1));
+  names_[launch_index] = name;
+}
+
+void TimeSeriesSampler::write_csv(std::ostream& os) const {
+  os << "cycle,page,launch,kernel,type\n";
+  for (const Sample& s : samples_) {
+    os << s.cycle << ',' << s.page << ',' << s.launch << ','
+       << (s.launch < names_.size() ? names_[s.launch] : "") << ','
+       << (s.type == AccessType::kWrite ? 'W' : 'R') << '\n';
+  }
+}
+
+}  // namespace uvmsim

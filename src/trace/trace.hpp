@@ -1,0 +1,111 @@
+// Tracing hooks for the workload-characterization figures (Figs 2 and 3 of
+// the paper): per-page access-frequency histograms split by access type, and
+// down-sampled (cycle, page) time series tagged with the kernel launch index.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+/// Receives every GPU access when SimConfig::collect_traces is set.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                         bool device_resident) = 0;
+  /// Called by the simulator before each kernel launch.
+  virtual void on_kernel_begin(std::uint32_t launch_index, const std::string& name) = 0;
+};
+
+/// Fig 2: per-4KB-page access counts, split into read-only pages and pages
+/// that were also written, reported per allocation.
+class PageHistogram final : public TraceSink {
+ public:
+  explicit PageHistogram(const AddressSpace& space);
+
+  void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                 bool device_resident) override;
+  void on_kernel_begin(std::uint32_t, const std::string&) override {}
+
+  [[nodiscard]] std::uint64_t reads(PageNum p) const { return reads_.at(p); }
+  [[nodiscard]] std::uint64_t writes(PageNum p) const { return writes_.at(p); }
+  [[nodiscard]] std::uint64_t total(PageNum p) const { return reads_.at(p) + writes_.at(p); }
+
+  /// Per-allocation summary used by the Fig 2 harness.
+  struct AllocSummary {
+    std::string name;
+    std::uint64_t pages = 0;
+    std::uint64_t touched_pages = 0;
+    std::uint64_t read_only_pages = 0;   ///< touched, never written
+    std::uint64_t written_pages = 0;
+    std::uint64_t total_accesses = 0;
+    std::uint64_t max_page_accesses = 0;
+    double mean_accesses_per_touched_page = 0.0;
+    /// Fraction of all accesses landing on the hottest 10 % of touched pages
+    /// (1.0 = perfectly skewed, ~0.1 = perfectly uniform).
+    double top_decile_share = 0.0;
+  };
+  [[nodiscard]] std::vector<AllocSummary> summarize() const;
+
+  /// CSV: allocation,page_index,reads,writes.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  const AddressSpace& space_;
+  std::vector<std::uint64_t> reads_;
+  std::vector<std::uint64_t> writes_;
+};
+
+/// Fig 3: down-sampled access time series (one row every `stride` accesses).
+class TimeSeriesSampler final : public TraceSink {
+ public:
+  explicit TimeSeriesSampler(std::uint64_t stride = 64) : stride_(stride) {}
+
+  void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                 bool device_resident) override;
+  void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override;
+
+  struct Sample {
+    Cycle cycle;
+    PageNum page;
+    std::uint32_t launch;
+    AccessType type;
+  };
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::uint32_t launches() const noexcept { return launch_; }
+  [[nodiscard]] const std::vector<std::string>& launch_names() const noexcept { return names_; }
+
+  /// CSV: cycle,page,launch,kernel,type.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::uint64_t stride_;
+  std::uint64_t seen_ = 0;
+  std::uint32_t launch_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Sample> samples_;
+};
+
+/// Fan-out sink for running several sinks in one simulation.
+class MultiSink final : public TraceSink {
+ public:
+  void add(TraceSink* s) { sinks_.push_back(s); }
+  void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                 bool device_resident) override {
+    for (auto* s : sinks_) s->on_access(now, addr, type, count, device_resident);
+  }
+  void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override {
+    for (auto* s : sinks_) s->on_kernel_begin(launch_index, name);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,48 @@
+#include "workloads/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uvmsim {
+
+MapKernel::MapKernel(std::string name, std::vector<Operand> ops, std::uint64_t lines,
+                     Options opt)
+    : name_(std::move(name)), ops_(std::move(ops)), lines_(lines), opt_(opt) {}
+
+void MapKernel::gen_task(std::uint64_t task, std::vector<Access>& out) const {
+  const std::uint64_t first = task * opt_.lines_per_task;
+  const std::uint64_t last = std::min(lines_, first + opt_.lines_per_task);
+  const std::uint64_t line_bytes = static_cast<std::uint64_t>(opt_.count) * kWarpAccessBytes;
+  out.reserve(out.size() + (last - first) * ops_.size());
+  for (std::uint64_t line = first; line < last; ++line) {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const Operand& op = ops_[i];
+      // Offsets wrap modulo the operand's line capacity so smaller arrays
+      // are revisited (and become hot) rather than overrun.
+      const std::uint64_t wrap_lines = std::max<std::uint64_t>(1, op.bytes / line_bytes);
+      const std::uint64_t op_line = (line >> op.stride_shift) % wrap_lines;
+      const VirtAddr addr = op.base + op_line * line_bytes;
+      std::uint32_t repeat = op.repeat;
+      if (i == 0 && opt_.hot_line_every != 0 && line % opt_.hot_line_every == 0) {
+        repeat += opt_.hot_extra;
+      }
+      for (std::uint32_t r = 0; r < repeat; ++r) {
+        out.push_back(Access{addr, op.type, opt_.count, opt_.gap});
+      }
+    }
+  }
+}
+
+Region make_region(AddressSpace& space, const std::string& name, std::uint64_t bytes) {
+  const AllocId id = space.allocate(name, bytes);
+  const Allocation& a = space.alloc(id);
+  return Region{id, a.base, a.user_size};
+}
+
+std::uint64_t scaled_bytes(double base_mb, double scale) noexcept {
+  const double bytes = base_mb * scale * 1024.0 * 1024.0;
+  const auto blocks = static_cast<std::uint64_t>(std::llround(bytes / kBasicBlockSize));
+  return std::max<std::uint64_t>(1, blocks) * kBasicBlockSize;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,89 @@
+// Shared building blocks for the workload generators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+/// Deterministic per-task RNG: hash of (workload seed, launch, task).
+[[nodiscard]] inline Rng task_rng(std::uint64_t seed, std::uint64_t launch,
+                                  std::uint64_t task) noexcept {
+  std::uint64_t s = seed ^ (launch * 0x9e3779b97f4a7c15ull);
+  s ^= splitmix64(s) + task;
+  return Rng(splitmix64(s));
+}
+
+/// Data-parallel map kernel: iterate `lines` positions; per position issue
+/// one access per operand at the corresponding offset. Models the fused
+/// element-wise loops of the regular benchmarks (stencils, vector updates).
+///
+/// Each "line" is `count * 128` bytes wide. Operands may map positions at a
+/// coarser stride (stride_shift) so smaller arrays are revisited — their
+/// pages become hot relative to streamed arrays. `repeat` models stencil
+/// re-reads of neighbouring elements that land on the same line.
+class MapKernel final : public Kernel {
+ public:
+  struct Operand {
+    VirtAddr base = 0;
+    std::uint64_t bytes = 0;  ///< region size; offsets wrap modulo this
+    AccessType type = AccessType::kRead;
+    std::uint8_t stride_shift = 0;
+    std::uint8_t repeat = 1;
+  };
+
+  struct Options {
+    std::uint16_t count = 8;        ///< 128 B transactions per line
+    std::uint16_t gap = 0;          ///< compute cycles per access
+    std::uint64_t lines_per_task = 64;
+    /// When nonzero, every `hot_line_every`-th line re-reads operand 0 an
+    /// extra `hot_extra` times (the equally spaced hot pages of fdtd, Fig 2a).
+    std::uint32_t hot_line_every = 0;
+    std::uint8_t hot_extra = 3;
+  };
+
+  MapKernel(std::string name, std::vector<Operand> ops, std::uint64_t lines, Options opt);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint64_t num_tasks() const override {
+    return div_ceil(lines_, opt_.lines_per_task);
+  }
+  void gen_task(std::uint64_t task, std::vector<Access>& out) const override;
+
+ private:
+  std::string name_;
+  std::vector<Operand> ops_;
+  std::uint64_t lines_;
+  Options opt_;
+};
+
+/// Convenience holder for a named allocation created during build().
+struct Region {
+  AllocId id = kInvalidAlloc;
+  VirtAddr base = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] VirtAddr at(std::uint64_t offset) const noexcept { return base + offset; }
+  /// Number of `width`-byte lines in the region.
+  [[nodiscard]] std::uint64_t lines(std::uint64_t width) const noexcept { return bytes / width; }
+};
+
+[[nodiscard]] Region make_region(AddressSpace& space, const std::string& name,
+                                 std::uint64_t bytes);
+
+/// Round a byte offset/address down to the 128 B transaction granularity
+/// (coalesced warp transactions are naturally aligned).
+[[nodiscard]] constexpr VirtAddr align_line(VirtAddr a) noexcept {
+  return a / kWarpAccessBytes * kWarpAccessBytes;
+}
+
+/// Clamp a byte size to a whole number of 64 KB blocks (>= one block).
+[[nodiscard]] std::uint64_t scaled_bytes(double base_mb, double scale) noexcept;
+
+}  // namespace uvmsim

@@ -1,0 +1,152 @@
+#include "workloads/graph_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+namespace uvmsim {
+
+CsrGraph make_power_law_graph(std::uint32_t num_nodes, std::uint32_t avg_degree, double alpha,
+                              std::uint64_t seed, double locality) {
+  Rng rng(seed);
+  CsrGraph g;
+  g.num_nodes = num_nodes;
+
+  // Draw raw Zipf degrees, then rescale to hit the requested average.
+  std::vector<std::uint64_t> deg(num_nodes);
+  std::uint64_t total = 0;
+  for (auto& d : deg) {
+    d = 1 + rng.zipf(4 * static_cast<std::uint64_t>(avg_degree), alpha);
+    total += d;
+  }
+  const double target = static_cast<double>(num_nodes) * avg_degree;
+  const double ratio = target / static_cast<double>(total);
+
+  g.offsets.resize(num_nodes + 1);
+  g.offsets[0] = 0;
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    const auto d = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       static_cast<double>(deg[v]) * ratio + 0.5)));
+    g.offsets[v + 1] = g.offsets[v] + d;
+  }
+
+  g.targets.resize(g.offsets.back());
+  constexpr std::uint32_t kNeighbourhood = 4096;
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      if (rng.chance(locality)) {
+        // Local edge: target within a bounded neighbourhood of the source.
+        const std::uint64_t span = std::min<std::uint64_t>(num_nodes, kNeighbourhood);
+        const std::uint64_t lo = v < span / 2 ? 0 : v - span / 2;
+        const std::uint64_t hi = std::min<std::uint64_t>(num_nodes - 1, lo + span - 1);
+        g.targets[e] = static_cast<std::uint32_t>(rng.between(lo, hi));
+      } else {
+        g.targets[e] = static_cast<std::uint32_t>(rng.below(num_nodes));
+      }
+    }
+  }
+  return g;
+}
+
+CsrGraph make_road_graph(std::uint32_t num_nodes, double shortcut_fraction,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  const auto side = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(num_nodes)));
+  const std::uint32_t n = side * side;
+
+  CsrGraph g;
+  g.num_nodes = n;
+  g.offsets.resize(n + 1);
+  g.offsets[0] = 0;
+
+  // First pass: degrees (lattice neighbours + optional shortcut).
+  std::vector<std::uint8_t> shortcut(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t x = v % side, y = v / side;
+    std::uint32_t deg = 0;
+    deg += x > 0;
+    deg += x + 1 < side;
+    deg += y > 0;
+    deg += y + 1 < side;
+    if (rng.chance(shortcut_fraction)) {
+      shortcut[v] = 1;
+      ++deg;
+    }
+    g.offsets[v + 1] = g.offsets[v] + deg;
+  }
+
+  g.targets.resize(g.offsets.back());
+  Rng trng(seed ^ 0x5ca1ab1e);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t x = v % side, y = v / side;
+    std::uint32_t e = g.offsets[v];
+    if (x > 0) g.targets[e++] = v - 1;
+    if (x + 1 < side) g.targets[e++] = v + 1;
+    if (y > 0) g.targets[e++] = v - side;
+    if (y + 1 < side) g.targets[e++] = v + side;
+    if (shortcut[v] != 0) g.targets[e++] = static_cast<std::uint32_t>(trng.below(n));
+  }
+  return g;
+}
+
+std::vector<std::vector<std::uint32_t>> bfs_levels(const CsrGraph& g, std::uint32_t source) {
+  std::vector<std::vector<std::uint32_t>> levels;
+  std::vector<bool> visited(g.num_nodes, false);
+  std::vector<std::uint32_t> frontier{source};
+  visited[source] = true;
+
+  while (!frontier.empty()) {
+    levels.push_back(frontier);
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t v : frontier) {
+      for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        const std::uint32_t u = g.targets[e];
+        if (!visited[u]) {
+          visited[u] = true;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+std::vector<std::vector<std::uint32_t>> sssp_rounds(const CsrGraph& g, std::uint32_t source,
+                                                    std::uint32_t max_rounds,
+                                                    std::uint64_t seed) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_nodes, kInf);
+  dist[source] = 0;
+
+  std::vector<std::vector<std::uint32_t>> rounds;
+  std::vector<std::uint32_t> worklist{source};
+
+  for (std::uint32_t r = 0; r < max_rounds && !worklist.empty(); ++r) {
+    rounds.push_back(worklist);
+    std::vector<std::uint32_t> next;
+    std::vector<bool> queued(g.num_nodes, false);
+    for (std::uint32_t v : worklist) {
+      for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        const std::uint32_t u = g.targets[e];
+        // Deterministic pseudo-random weight per edge.
+        std::uint64_t h = seed ^ (static_cast<std::uint64_t>(e) << 1);
+        const auto w = static_cast<std::uint32_t>(1 + (splitmix64(h) & 0xf));
+        if (dist[v] != kInf && dist[v] + w < dist[u]) {
+          dist[u] = dist[v] + w;
+          if (!queued[u]) {
+            queued[u] = true;
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    worklist = std::move(next);
+  }
+  return rounds;
+}
+
+}  // namespace uvmsim

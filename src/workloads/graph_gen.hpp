@@ -1,0 +1,59 @@
+// Synthetic power-law graph substrate for the graph workloads (bfs, sssp).
+// Builds a CSR graph with a configurable degree skew and runs host-side
+// traversals (level-synchronous BFS, Bellman-Ford rounds) so the GPU access
+// streams replay a *real* traversal: frontier order, CSR offsets, neighbour
+// writes. This reproduces the hot/cold allocation split the paper
+// characterizes — offset/status arrays are dense and hot, the edge array is
+// sparse, seldom-touched and read-only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace uvmsim {
+
+struct CsrGraph {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::uint32_t> offsets;  ///< size num_nodes + 1
+  std::vector<std::uint32_t> targets;  ///< size num_edges
+
+  [[nodiscard]] std::uint32_t num_edges() const noexcept {
+    return offsets.empty() ? 0u : offsets.back();
+  }
+  [[nodiscard]] std::uint32_t degree(std::uint32_t v) const noexcept {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Power-law-ish random graph: node degrees follow a Zipf(alpha) rank
+/// distribution scaled to an average of `avg_degree`. A `locality` fraction
+/// of edges point near their source (road-network-like clustering; traversals
+/// of such graphs re-touch edge regions instead of spraying uniformly); the
+/// remainder are uniform random. Deterministic for a given seed.
+[[nodiscard]] CsrGraph make_power_law_graph(std::uint32_t num_nodes, std::uint32_t avg_degree,
+                                            double alpha, std::uint64_t seed,
+                                            double locality = 0.7);
+
+/// Road-network-like graph: a sqrt(n) x sqrt(n) 4-neighbour lattice with a
+/// small fraction of random shortcut edges. High diameter, tiny frontiers,
+/// strong locality — the structure of the Lonestar road inputs, and the
+/// opposite regime from the power-law generator (few huge frontiers).
+[[nodiscard]] CsrGraph make_road_graph(std::uint32_t num_nodes, double shortcut_fraction,
+                                       std::uint64_t seed);
+
+/// Level-synchronous BFS from `source`; returns the frontier (node list) of
+/// every level, in traversal order.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> bfs_levels(const CsrGraph& g,
+                                                                 std::uint32_t source);
+
+/// Bellman-Ford-style SSSP rounds with unit-ish random weights: returns the
+/// per-round worklists (nodes whose distance changed in the previous round).
+/// `max_rounds` caps the number of rounds.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> sssp_rounds(const CsrGraph& g,
+                                                                  std::uint32_t source,
+                                                                  std::uint32_t max_rounds,
+                                                                  std::uint64_t seed);
+
+}  // namespace uvmsim

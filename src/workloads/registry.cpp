@@ -1,0 +1,52 @@
+#include "workloads/registry.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<Workload>(const WorkloadParams&)>;
+
+const std::unordered_map<std::string, Factory>& factories() {
+  static const std::unordered_map<std::string, Factory> table{
+      {"backprop", make_backprop}, {"fdtd", make_fdtd}, {"hotspot", make_hotspot},
+      {"srad", make_srad},         {"bfs", make_bfs},   {"nw", make_nw},
+      {"ra", make_ra},             {"sssp", make_sssp}, {"spmv", make_spmv},
+      {"pagerank", make_pagerank}, {"kmeans", make_kmeans},
+      {"histogram", make_histogram},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(const std::string& name, const WorkloadParams& params) {
+  const auto it = factories().find(name);
+  if (it == factories().end()) {
+    throw std::invalid_argument("make_workload: unknown workload '" + name + "'");
+  }
+  return it->second(params);
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names{
+      "backprop", "fdtd", "hotspot", "srad",  // regular
+      "bfs", "nw", "ra", "sssp",              // irregular
+  };
+  return names;
+}
+
+const std::vector<std::string>& extra_workload_names() {
+  static const std::vector<std::string> names{
+      "kmeans", "histogram",  // regular-ish
+      "spmv", "pagerank",     // irregular
+  };
+  return names;
+}
+
+}  // namespace uvmsim

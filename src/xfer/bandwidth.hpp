@@ -1,0 +1,47 @@
+// Bandwidth regulator: models a shared channel of fixed bytes/cycle capacity
+// with FIFO occupancy. A request of N bytes issued at cycle `now` begins when
+// the channel frees up and occupies it for N / bytes_per_cycle cycles.
+// Fractional occupancy is accumulated exactly (in bytes) so small transfers
+// do not quantize to whole cycles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace uvmsim {
+
+class BandwidthRegulator {
+ public:
+  explicit BandwidthRegulator(double bytes_per_cycle)
+      : bytes_per_cycle_(bytes_per_cycle) {}
+
+  /// Reserve channel time for `bytes` starting no earlier than `now`.
+  /// Returns the cycle at which the last byte has crossed the channel.
+  Cycle acquire(Cycle now, std::uint64_t bytes) noexcept {
+    const double start = std::max(free_at_, static_cast<double>(now));
+    const double end = start + static_cast<double>(bytes) / bytes_per_cycle_;
+    free_at_ = end;
+    total_bytes_ += bytes;
+    busy_cycles_ += end - start;
+    return static_cast<Cycle>(std::ceil(end));
+  }
+
+  /// First cycle at which the channel is idle.
+  [[nodiscard]] Cycle free_at() const noexcept {
+    return static_cast<Cycle>(std::ceil(free_at_));
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] double busy_cycles() const noexcept { return busy_cycles_; }
+  [[nodiscard]] double bytes_per_cycle() const noexcept { return bytes_per_cycle_; }
+
+ private:
+  double bytes_per_cycle_;
+  double free_at_ = 0.0;
+  double busy_cycles_ = 0.0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace uvmsim

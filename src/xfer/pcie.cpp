@@ -1,0 +1,7 @@
+// PcieFabric is header-only today; this TU anchors the module in the build
+// and is the home for future non-inline additions (e.g. link power states).
+#include "xfer/pcie.hpp"
+
+namespace uvmsim {
+// Intentionally empty.
+}  // namespace uvmsim

@@ -1,0 +1,52 @@
+// PCIe 3.0 x16 interconnect model: two independent directions (H2D, D2H),
+// each a bandwidth-regulated channel with a fixed per-transfer latency.
+// Both bulk DMA migrations and zero-copy remote accesses share the channels,
+// so heavy remote traffic saturates exactly like the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "xfer/bandwidth.hpp"
+
+namespace uvmsim {
+
+enum class PcieDir : std::uint8_t { kHostToDevice, kDeviceToHost };
+
+class PcieFabric {
+ public:
+  explicit PcieFabric(const SimConfig& cfg)
+      : h2d_(cfg.pcie_bytes_per_cycle()),
+        d2h_(cfg.pcie_bytes_per_cycle()),
+        latency_(cfg.xfer.pcie_latency) {}
+
+  /// Reserve the channel for a bulk transfer of `bytes`, earliest at
+  /// max(now, not_before). Returns the completion cycle (channel drain +
+  /// per-transfer latency).
+  Cycle transfer(PcieDir dir, Cycle now, Cycle not_before, std::uint64_t bytes) noexcept {
+    BandwidthRegulator& ch = channel(dir);
+    const Cycle start = now > not_before ? now : not_before;
+    return ch.acquire(start, bytes) + latency_;
+  }
+
+  /// Zero-copy transaction: same channel occupancy, but the caller adds the
+  /// remote-access latency itself (it differs from bulk-DMA latency).
+  Cycle remote_transaction(PcieDir dir, Cycle now, std::uint64_t bytes) noexcept {
+    return channel(dir).acquire(now, bytes);
+  }
+
+  [[nodiscard]] const BandwidthRegulator& h2d() const noexcept { return h2d_; }
+  [[nodiscard]] const BandwidthRegulator& d2h() const noexcept { return d2h_; }
+  [[nodiscard]] Cycle latency() const noexcept { return latency_; }
+
+ private:
+  [[nodiscard]] BandwidthRegulator& channel(PcieDir dir) noexcept {
+    return dir == PcieDir::kHostToDevice ? h2d_ : d2h_;
+  }
+  BandwidthRegulator h2d_;
+  BandwidthRegulator d2h_;
+  Cycle latency_;
+};
+
+}  // namespace uvmsim

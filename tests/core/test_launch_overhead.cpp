@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "sim/config_parse.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(LaunchOverhead, ConversionToCycles) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.launch_overhead_cycles(), 0u);
+  cfg.kernel_launch_overhead_us = 5.0;
+  EXPECT_EQ(cfg.launch_overhead_cycles(), 7405u);  // 5 us at 1.481 GHz
+}
+
+TEST(LaunchOverhead, GapsAppearBetweenLaunchesNotInsideKernels) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  SimConfig no_gap;
+  no_gap.gpu.num_sms = 4;
+  no_gap.gpu.warps_per_sm = 2;
+  SimConfig with_gap = no_gap;
+  with_gap.kernel_launch_overhead_us = 10.0;
+
+  const RunResult a = run_workload("fdtd", no_gap, 0.0, params);
+  const RunResult b = run_workload("fdtd", with_gap, 0.0, params);
+
+  // Kernel time (the paper's metric) is unchanged; wall-clock grows by
+  // one overhead per inter-launch gap.
+  EXPECT_EQ(b.stats.kernel_cycles, a.stats.kernel_cycles);
+  const Cycle gaps =
+      (static_cast<Cycle>(b.kernels.size()) - 1) * with_gap.launch_overhead_cycles();
+  EXPECT_EQ(b.stats.total_cycles, a.stats.total_cycles + gaps);
+
+  // Launch start times reflect the gap.
+  EXPECT_EQ(b.kernels[1].start, b.kernels[0].end + with_gap.launch_overhead_cycles());
+}
+
+TEST(LaunchOverhead, ManyLaunchWorkloadsPayProportionally) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  SimConfig cfg;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+  cfg.kernel_launch_overhead_us = 10.0;
+
+  // nw launches one kernel per anti-diagonal — hundreds of launches.
+  const RunResult nw = run_workload("nw", cfg, 0.0, params);
+  const Cycle expected_overhead =
+      (static_cast<Cycle>(nw.kernels.size()) - 1) * cfg.launch_overhead_cycles();
+  EXPECT_GT(nw.kernels.size(), 50u);
+  EXPECT_GE(nw.stats.total_cycles, expected_overhead);
+}
+
+TEST(LaunchOverhead, ParsableFromConfigText) {
+  SimConfig cfg;
+  apply_config_setting(cfg, "kernel_launch_overhead_us", "7.5");
+  EXPECT_DOUBLE_EQ(cfg.kernel_launch_overhead_us, 7.5);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,49 @@
+#include "gpu/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Tlb, MissThenHit) {
+  Tlb t(16);
+  EXPECT_FALSE(t.access(5));
+  EXPECT_TRUE(t.access(5));
+}
+
+TEST(Tlb, DirectMappedConflict) {
+  Tlb t(16);
+  EXPECT_FALSE(t.access(3));
+  EXPECT_FALSE(t.access(3 + 16));  // same slot, evicts
+  EXPECT_FALSE(t.access(3));       // miss again
+}
+
+TEST(Tlb, DistinctSlotsCoexist) {
+  Tlb t(16);
+  for (PageNum p = 0; p < 16; ++p) EXPECT_FALSE(t.access(p));
+  for (PageNum p = 0; p < 16; ++p) EXPECT_TRUE(t.access(p));
+}
+
+TEST(Tlb, InvalidateRemovesEntry) {
+  Tlb t(16);
+  t.access(7);
+  t.invalidate(7);
+  EXPECT_FALSE(t.access(7));
+}
+
+TEST(Tlb, InvalidateOtherPageIsNoop) {
+  Tlb t(16);
+  t.access(7);
+  t.invalidate(7 + 16);  // same slot, different page: must not drop 7
+  EXPECT_TRUE(t.access(7));
+}
+
+TEST(Tlb, FlushEmptiesEverything) {
+  Tlb t(8);
+  for (PageNum p = 0; p < 8; ++p) t.access(p);
+  t.flush();
+  for (PageNum p = 0; p < 8; ++p) EXPECT_FALSE(t.access(p));
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,110 @@
+// Scaling and monotonicity properties of the simulator as a whole: results
+// must move in physically sensible directions when first-order parameters
+// change. These catch sign errors in the timing model that absolute-value
+// tests cannot.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+
+namespace uvmsim {
+namespace {
+
+SimConfig small() {
+  SimConfig cfg;
+  cfg.gpu.num_sms = 8;
+  cfg.gpu.warps_per_sm = 2;
+  return cfg;
+}
+
+WorkloadParams tiny() {
+  WorkloadParams p;
+  p.scale = 0.1;
+  return p;
+}
+
+TEST(ScalingProperties, MorePcieBandwidthNeverHurts) {
+  SimConfig slow = small();
+  SimConfig fast = small();
+  slow.xfer.pcie_bandwidth_gbps = 8.0;
+  fast.xfer.pcie_bandwidth_gbps = 32.0;
+  const auto a = run_workload("fdtd", slow, 1.25, tiny()).stats.kernel_cycles;
+  const auto b = run_workload("fdtd", fast, 1.25, tiny()).stats.kernel_cycles;
+  EXPECT_LT(b, a);
+}
+
+TEST(ScalingProperties, HigherFaultLatencyCostsTime) {
+  SimConfig quick = small();
+  SimConfig slow = small();
+  quick.xfer.far_fault_latency_us = 10.0;
+  slow.xfer.far_fault_latency_us = 100.0;
+  const auto a = run_workload("bfs", quick, 1.25, tiny()).stats.kernel_cycles;
+  const auto b = run_workload("bfs", slow, 1.25, tiny()).stats.kernel_cycles;
+  EXPECT_GT(b, a);
+}
+
+TEST(ScalingProperties, DeeperOversubscriptionMonotonicallyHurts) {
+  Cycle prev = 0;
+  for (const double oversub : {0.0, 1.1, 1.3, 1.6}) {
+    const auto c = run_workload("ra", small(), oversub, tiny()).stats.kernel_cycles;
+    EXPECT_GE(c, prev) << "oversub " << oversub;
+    prev = c;
+  }
+}
+
+TEST(ScalingProperties, LargerRemoteLatencyHurtsRemoteHeavyRuns) {
+  SimConfig quick = small();
+  SimConfig slow = small();
+  quick.policy.policy = slow.policy.policy = PolicyKind::kAdaptive;
+  quick.policy.migration_penalty = slow.policy.migration_penalty = 1048576;
+  quick.xfer.remote_access_latency = 100;
+  slow.xfer.remote_access_latency = 2000;
+  const auto a = run_workload("ra", quick, 1.25, tiny()).stats.kernel_cycles;
+  const auto b = run_workload("ra", slow, 1.25, tiny()).stats.kernel_cycles;
+  EXPECT_GT(b, a);
+}
+
+TEST(ScalingProperties, BiggerDeviceAbsorbsTheWorkingSet) {
+  SimConfig cfg = small();
+  cfg.mem.device_capacity_bytes = 256ull << 20;
+  const RunResult r = run_workload("sssp", cfg, 0.0, tiny());
+  EXPECT_EQ(r.stats.evictions, 0u);
+  EXPECT_EQ(r.stats.pages_thrashed, 0u);
+}
+
+TEST(ScalingProperties, FootprintScalesLinearlyWithScale) {
+  // Compare at scales where the power-of-two chunk padding is a small
+  // fraction of the allocation (tiny scales quantize heavily).
+  WorkloadParams half = tiny(), full = tiny();
+  half.scale = 0.4;
+  full.scale = 0.8;
+  const RunResult a = run_workload("fdtd", small(), 0.0, half);
+  const RunResult b = run_workload("fdtd", small(), 0.0, full);
+  EXPECT_NEAR(static_cast<double>(b.footprint_bytes) /
+                  static_cast<double>(a.footprint_bytes),
+              2.0, 0.25);
+}
+
+TEST(ScalingProperties, MoreIterationsScaleKernelTime) {
+  WorkloadParams few = tiny(), many = tiny();
+  few.iterations = 2;
+  many.iterations = 8;
+  const auto a = run_workload("hotspot", small(), 0.0, few).stats.kernel_cycles;
+  const auto b = run_workload("hotspot", small(), 0.0, many).stats.kernel_cycles;
+  EXPECT_GT(b, 3 * a / 2);
+  EXPECT_LT(b, 8 * a);
+}
+
+TEST(ScalingProperties, ZeroCopyOverheadMattersForPinnedRuns) {
+  SimConfig lean = small();
+  SimConfig heavy = small();
+  lean.policy.policy = heavy.policy.policy = PolicyKind::kAdaptive;
+  lean.policy.migration_penalty = heavy.policy.migration_penalty = 1048576;
+  lean.xfer.remote_overhead_bytes = 0;
+  heavy.xfer.remote_overhead_bytes = 512;
+  const auto a = run_workload("fdtd", lean, 1.25, tiny()).stats.kernel_cycles;
+  const auto b = run_workload("fdtd", heavy, 1.25, tiny()).stats.kernel_cycles;
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace uvmsim

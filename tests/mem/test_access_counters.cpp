@@ -1,0 +1,120 @@
+#include "mem/access_counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+AccessCounterTable table_64k(std::uint64_t units = 16) {
+  return AccessCounterTable(units, 16);  // 64 KB units
+}
+
+TEST(AccessCounters, StartsAtZero) {
+  auto t = table_64k();
+  for (std::uint64_t u = 0; u < t.units(); ++u) {
+    EXPECT_EQ(t.count_unit(u), 0u);
+    EXPECT_EQ(t.round_trips_unit(u), 0u);
+  }
+}
+
+TEST(AccessCounters, UnitMappingFollowsGranularity) {
+  auto t = table_64k();
+  EXPECT_EQ(t.unit_of(0), 0u);
+  EXPECT_EQ(t.unit_of(kBasicBlockSize - 1), 0u);
+  EXPECT_EQ(t.unit_of(kBasicBlockSize), 1u);
+  AccessCounterTable pages(16, 12);  // 4 KB units
+  EXPECT_EQ(pages.unit_of(kPageSize), 1u);
+}
+
+TEST(AccessCounters, RecordAccessReturnsPostCount) {
+  auto t = table_64k();
+  EXPECT_EQ(t.record_access(0, 1), 1u);
+  EXPECT_EQ(t.record_access(0, 1), 2u);
+  EXPECT_EQ(t.record_access(0, 5), 7u);
+  EXPECT_EQ(t.count(0), 7u);
+}
+
+TEST(AccessCounters, AddressesWithinUnitShareCounter) {
+  auto t = table_64k();
+  t.record_access(100, 1);
+  t.record_access(kBasicBlockSize - 1, 1);
+  EXPECT_EQ(t.count(0), 2u);
+  EXPECT_EQ(t.count(kBasicBlockSize), 0u);
+}
+
+TEST(AccessCounters, RoundTrips) {
+  auto t = table_64k();
+  t.record_round_trip(0);
+  t.record_round_trip(0);
+  EXPECT_EQ(t.round_trips(0), 2u);
+  EXPECT_EQ(t.count(0), 0u);  // trips do not disturb the count
+}
+
+TEST(AccessCounters, CountAndTripsCoexist) {
+  auto t = table_64k();
+  t.record_access(0, 100);
+  t.record_round_trip(0);
+  EXPECT_EQ(t.count(0), 100u);
+  EXPECT_EQ(t.round_trips(0), 1u);
+}
+
+TEST(AccessCounters, HalvingOnCountSaturation) {
+  auto t = table_64k(2);
+  t.record_access(kBasicBlockSize, 1000);  // unit 1: bystander
+  // Saturate unit 0.
+  for (int i = 0; i < 200; ++i) {
+    t.record_access(0, AccessCounterTable::kCountMax / 100);
+  }
+  EXPECT_GE(t.halvings(), 1u);
+  // Bystander was halved too (global halving preserves relative hotness).
+  EXPECT_LT(t.count(kBasicBlockSize), 1000u);
+  EXPECT_GT(t.count(kBasicBlockSize), 0u);
+  EXPECT_LT(t.count(0), AccessCounterTable::kCountMax);
+}
+
+TEST(AccessCounters, HalvingOnTripSaturation) {
+  auto t = table_64k(2);
+  t.record_access(kBasicBlockSize, 64);
+  for (std::uint32_t i = 0; i < AccessCounterTable::kTripMax + 4; ++i) {
+    t.record_round_trip(0);
+  }
+  EXPECT_GE(t.halvings(), 1u);
+  EXPECT_LE(t.round_trips(0), AccessCounterTable::kTripMax);
+  EXPECT_EQ(t.count(kBasicBlockSize), 32u);
+}
+
+TEST(AccessCounters, HalveAllPreservesOrder) {
+  auto t = table_64k(3);
+  t.record_access(0, 100);
+  t.record_access(kBasicBlockSize, 50);
+  t.record_access(2 * kBasicBlockSize, 7);
+  t.halve_all();
+  EXPECT_EQ(t.count(0), 50u);
+  EXPECT_EQ(t.count(kBasicBlockSize), 25u);
+  EXPECT_EQ(t.count(2 * kBasicBlockSize), 3u);
+  EXPECT_GT(t.count(0), t.count(kBasicBlockSize));
+  EXPECT_GT(t.count(kBasicBlockSize), t.count(2 * kBasicBlockSize));
+}
+
+TEST(AccessCounters, RangeCountSpansUnits) {
+  auto t = table_64k(4);
+  t.record_access(0, 10);
+  t.record_access(kBasicBlockSize, 20);
+  t.record_access(2 * kBasicBlockSize, 30);
+  EXPECT_EQ(t.range_count(0, kBasicBlockSize), 10u);
+  EXPECT_EQ(t.range_count(0, 2 * kBasicBlockSize), 30u);
+  EXPECT_EQ(t.range_count(0, 3 * kBasicBlockSize), 60u);
+  EXPECT_EQ(t.range_count(kBasicBlockSize + 5, 10), 20u);
+  EXPECT_EQ(t.range_count(0, 0), 0u);
+}
+
+TEST(AccessCounters, FieldWidthsMatchPaper) {
+  // 32-bit register: 27 bits of access count, 5 bits of round trips.
+  EXPECT_EQ(AccessCounterTable::kCountBits, 27u);
+  EXPECT_EQ(AccessCounterTable::kTripBits, 5u);
+  EXPECT_EQ(AccessCounterTable::kCountMax, (1u << 27) - 1);
+  EXPECT_EQ(AccessCounterTable::kTripMax, 31u);
+}
+
+}  // namespace
+}  // namespace uvmsim

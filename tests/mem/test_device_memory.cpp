@@ -1,0 +1,64 @@
+#include "mem/device_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(DeviceMemory, CapacityInBlocksAndPages) {
+  DeviceMemory m(4 * kLargePageSize);
+  EXPECT_EQ(m.capacity_blocks(), 4 * kBlocksPerLargePage);
+  EXPECT_EQ(m.capacity_pages(), 4 * kPagesPerLargePage);
+  EXPECT_EQ(m.used_blocks(), 0u);
+  EXPECT_EQ(m.free_blocks(), m.capacity_blocks());
+}
+
+TEST(DeviceMemory, ReserveAndRelease) {
+  DeviceMemory m(kLargePageSize);
+  EXPECT_TRUE(m.reserve(10));
+  EXPECT_EQ(m.used_blocks(), 10u);
+  EXPECT_EQ(m.used_pages(), 160u);
+  m.release(4);
+  EXPECT_EQ(m.used_blocks(), 6u);
+}
+
+TEST(DeviceMemory, ReserveFailsWithoutSideEffects) {
+  DeviceMemory m(kLargePageSize);  // 32 blocks
+  EXPECT_TRUE(m.reserve(32));
+  EXPECT_FALSE(m.reserve(1));
+  EXPECT_EQ(m.used_blocks(), 32u);
+}
+
+TEST(DeviceMemory, ReleaseMoreThanUsedThrows) {
+  DeviceMemory m(kLargePageSize);
+  EXPECT_TRUE(m.reserve(2));
+  EXPECT_THROW(m.release(3), std::logic_error);
+}
+
+TEST(DeviceMemory, EverFullIsStickyAndManual) {
+  DeviceMemory m(kLargePageSize);
+  EXPECT_FALSE(m.ever_full());
+  // Running out does not flip the flag automatically; the driver marks it so
+  // that only genuine eviction pressure counts as oversubscription.
+  EXPECT_TRUE(m.reserve(32));
+  EXPECT_FALSE(m.reserve(1));
+  EXPECT_FALSE(m.ever_full());
+  m.note_full();
+  EXPECT_TRUE(m.ever_full());
+  m.release(32);
+  EXPECT_TRUE(m.ever_full());
+}
+
+TEST(DeviceMemory, Occupancy) {
+  DeviceMemory m(2 * kLargePageSize);
+  EXPECT_DOUBLE_EQ(m.occupancy(), 0.0);
+  EXPECT_TRUE(m.reserve(32));
+  EXPECT_DOUBLE_EQ(m.occupancy(), 0.5);
+}
+
+TEST(DeviceMemory, SubBlockCapacityThrows) {
+  EXPECT_THROW(DeviceMemory m(kBasicBlockSize - 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,93 @@
+// Unit tests of Equation 1 (the paper's dynamic threshold).
+#include <gtest/gtest.h>
+
+#include "policy/migration_policy.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(AdaptiveThreshold, EmptyDeviceIsFirstTouch) {
+  // td = ts * 0/total + 1 = 1.
+  EXPECT_EQ(adaptive_threshold(8, 0, 1000, false, 0, 8), 1u);
+}
+
+TEST(AdaptiveThreshold, PaperExampleBelowOneEighth) {
+  // ts = 8: below 12.5 % occupancy, td = 1 (every first touch migrates).
+  EXPECT_EQ(adaptive_threshold(8, 124, 1000, false, 0, 8), 1u);
+  EXPECT_EQ(adaptive_threshold(8, 125, 1000, false, 0, 8), 2u);
+}
+
+TEST(AdaptiveThreshold, ApproachesStaticThresholdNearCapacity) {
+  // Just before full capacity, td = ts (paper's walkthrough: 8).
+  EXPECT_EQ(adaptive_threshold(8, 999, 1000, false, 0, 8), 8u);
+  EXPECT_EQ(adaptive_threshold(8, 1000, 1000, false, 0, 8), 9u);
+}
+
+TEST(AdaptiveThreshold, GrowsMonotonicallyWithOccupancy) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t used = 0; used <= 1000; used += 50) {
+    const auto td = adaptive_threshold(8, used, 1000, false, 0, 8);
+    EXPECT_GE(td, prev);
+    prev = td;
+  }
+}
+
+TEST(AdaptiveThreshold, OversubscribedBase) {
+  // td = ts * (r+1) * p: with ts=8, p=2, r=0 -> 16 (paper's example).
+  EXPECT_EQ(adaptive_threshold(8, 0, 1000, true, 0, 2), 16u);
+}
+
+TEST(AdaptiveThreshold, PaperRoundTripExample) {
+  // "if a given chunk of memory is evicted twice, then the dynamic threshold
+  //  of migration for that memory chunk will be derived as 48" (ts=8, p=2).
+  EXPECT_EQ(adaptive_threshold(8, 0, 1000, true, 2, 2), 48u);
+}
+
+TEST(AdaptiveThreshold, PenaltyScalesLinearly) {
+  EXPECT_EQ(adaptive_threshold(8, 0, 0, true, 0, 8), 64u);
+  EXPECT_EQ(adaptive_threshold(8, 0, 0, true, 0, 1048576), 8u * 1048576);
+}
+
+TEST(AdaptiveThreshold, RoundTripsHardenPinning) {
+  std::uint64_t prev = 0;
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    const auto td = adaptive_threshold(8, 0, 0, true, r, 8);
+    EXPECT_GT(td, prev);
+    prev = td;
+  }
+}
+
+TEST(AdaptiveThreshold, OccupancyIrrelevantOnceOversubscribed) {
+  EXPECT_EQ(adaptive_threshold(8, 0, 1000, true, 1, 4),
+            adaptive_threshold(8, 1000, 1000, true, 1, 4));
+}
+
+TEST(AdaptiveThreshold, ZeroCapacityGuard) {
+  EXPECT_EQ(adaptive_threshold(8, 0, 0, false, 0, 8), 1u);
+}
+
+// Property sweep over ts values used in Fig 4.
+class ThresholdSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThresholdSweep, NoOversubBoundsAreOneToTsPlusOne) {
+  const std::uint32_t ts = GetParam();
+  for (std::uint64_t used = 0; used <= 2048; used += 64) {
+    const auto td = adaptive_threshold(ts, used, 2048, false, 0, 8);
+    EXPECT_GE(td, 1u);
+    EXPECT_LE(td, static_cast<std::uint64_t>(ts) + 1);
+  }
+}
+
+TEST_P(ThresholdSweep, OversubThresholdIsMultipleOfTs) {
+  const std::uint32_t ts = GetParam();
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    const auto td = adaptive_threshold(ts, 0, 0, true, r, 4);
+    EXPECT_EQ(td % ts, 0u);
+    EXPECT_EQ(td, static_cast<std::uint64_t>(ts) * (r + 1) * 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TsValues, ThresholdSweep, ::testing::Values(8u, 16u, 32u));
+
+}  // namespace
+}  // namespace uvmsim

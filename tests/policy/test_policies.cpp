@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "policy/migration_policy.hpp"
+
+namespace uvmsim {
+namespace {
+
+const PolicyContext kEmpty{0, 1000, false, false};
+const PolicyContext kOversub{1000, 1000, true, true};
+
+TEST(FirstTouch, AlwaysMigrates) {
+  FirstTouchPolicy p;
+  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kOversub), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.effective_threshold({1, 0}, kEmpty), 1u);
+  EXPECT_EQ(p.name(), "first-touch");
+}
+
+TEST(StaticAlways, ReadsBelowThresholdStayRemote) {
+  StaticThresholdPolicy p(8, true, false);
+  EXPECT_EQ(p.decide(AccessType::kRead, {7, 0}, kEmpty), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kRead, {8, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(AccessType::kRead, {9, 0}, kEmpty), MigrationDecision::kMigrate);
+}
+
+TEST(StaticAlways, WritesMigrateImmediately) {
+  StaticThresholdPolicy p(8, true, false);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kEmpty), MigrationDecision::kMigrate);
+}
+
+TEST(StaticAlways, WriteMigrationCanBeDisabled) {
+  StaticThresholdPolicy p(8, false, false);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kEmpty), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {8, 0}, kEmpty), MigrationDecision::kMigrate);
+}
+
+TEST(StaticAlways, ActiveRegardlessOfOversubscription) {
+  StaticThresholdPolicy p(8, true, false);
+  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kOversub), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.effective_threshold({1, 0}, kEmpty), 8u);
+}
+
+TEST(StaticOversub, FirstTouchUntilOversubscription) {
+  StaticThresholdPolicy p(8, true, true);
+  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.effective_threshold({1, 0}, kEmpty), 1u);
+  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kOversub), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kRead, {8, 0}, kOversub), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.effective_threshold({1, 0}, kOversub), 8u);
+}
+
+TEST(Adaptive, FirstTouchOnEmptyDevice) {
+  AdaptivePolicy p(8, 8, false);
+  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kMigrate);
+}
+
+TEST(Adaptive, DelayedNearCapacity) {
+  AdaptivePolicy p(8, 8, false);
+  const PolicyContext nearly{999, 1000, false, false};
+  EXPECT_EQ(p.effective_threshold({0, 0}, nearly), 8u);
+  EXPECT_EQ(p.decide(AccessType::kRead, {7, 0}, nearly), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kRead, {8, 0}, nearly), MigrationDecision::kMigrate);
+}
+
+TEST(Adaptive, OversubUsesRoundTrips) {
+  AdaptivePolicy p(8, 8, false);
+  // r=0: td = 64. r=1: td = 128.
+  EXPECT_EQ(p.decide(AccessType::kRead, {63, 0}, kOversub), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kRead, {64, 0}, kOversub), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(AccessType::kRead, {64, 1}, kOversub), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kRead, {128, 1}, kOversub), MigrationDecision::kMigrate);
+}
+
+TEST(Adaptive, WritesFollowDynamicThresholdByDefault) {
+  // The adaptive scheme subsumes writes so highly-thrashed write pages can
+  // stay host-pinned (zero-copy writes).
+  AdaptivePolicy p(8, 8, false);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kOversub), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {64, 0}, kOversub), MigrationDecision::kMigrate);
+}
+
+TEST(Adaptive, VoltaWriteSemanticsOptIn) {
+  AdaptivePolicy p(8, 8, true);
+  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kOversub), MigrationDecision::kMigrate);
+}
+
+TEST(Adaptive, BranchSelectsOnOvercommitmentNotEviction) {
+  // The Adaptive branch is chosen by footprint-vs-capacity (known to the
+  // driver at allocation time), not by the first-eviction event that gates
+  // the Oversub static scheme.
+  AdaptivePolicy p(8, 8, false);
+  const PolicyContext overcommitted_only{0, 1000, false, true};
+  EXPECT_EQ(p.effective_threshold({0, 0}, overcommitted_only), 64u);
+  const PolicyContext evicted_but_fitting{1000, 1000, true, false};
+  EXPECT_EQ(p.effective_threshold({0, 0}, evicted_but_fitting), 9u);
+}
+
+TEST(Adaptive, HugePenaltyPinsEverything) {
+  AdaptivePolicy p(8, 1048576, false);
+  EXPECT_EQ(p.decide(AccessType::kRead, {1000000, 0}, kOversub),
+            MigrationDecision::kRemoteAccess);
+}
+
+TEST(Factory, BuildsEachKind) {
+  PolicyConfig cfg;
+  cfg.policy = PolicyKind::kFirstTouch;
+  EXPECT_EQ(make_policy(cfg)->name(), "first-touch");
+  cfg.policy = PolicyKind::kStaticAlways;
+  EXPECT_EQ(make_policy(cfg)->name(), "static-always");
+  cfg.policy = PolicyKind::kStaticOversub;
+  EXPECT_EQ(make_policy(cfg)->name(), "static-oversub");
+  cfg.policy = PolicyKind::kAdaptive;
+  EXPECT_EQ(make_policy(cfg)->name(), "adaptive");
+}
+
+TEST(Factory, ForwardsParameters) {
+  PolicyConfig cfg;
+  cfg.policy = PolicyKind::kStaticAlways;
+  cfg.static_threshold = 16;
+  auto p = make_policy(cfg);
+  EXPECT_EQ(p->decide(AccessType::kRead, {15, 0}, kEmpty), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p->decide(AccessType::kRead, {16, 0}, kEmpty), MigrationDecision::kMigrate);
+}
+
+}  // namespace
+}  // namespace uvmsim

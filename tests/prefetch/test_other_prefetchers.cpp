@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace uvmsim {
+namespace {
+
+class PrefetcherTest : public ::testing::Test {
+ protected:
+  PrefetcherTest() {
+    space_.allocate("a", 2 * kLargePageSize);
+    table_ = std::make_unique<BlockTable>(space_);
+  }
+  void residency(BlockNum b) {
+    table_->mark_in_flight(b);
+    table_->mark_resident(b, 1);
+  }
+  AddressSpace space_;
+  std::unique_ptr<BlockTable> table_;
+};
+
+TEST_F(PrefetcherTest, NoPrefetcherReturnsNothing) {
+  NoPrefetcher pf;
+  std::vector<BlockNum> out;
+  pf.expand(0, *table_, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(pf.name(), "none");
+}
+
+TEST_F(PrefetcherTest, SequentialPullsNextBlock) {
+  SequentialPrefetcher pf(1);
+  std::vector<BlockNum> out;
+  pf.expand(4, *table_, out);
+  EXPECT_EQ(out, (std::vector<BlockNum>{5}));
+}
+
+TEST_F(PrefetcherTest, SequentialSkipsResidentNeighbours) {
+  SequentialPrefetcher pf(2);
+  residency(5);
+  std::vector<BlockNum> out;
+  pf.expand(4, *table_, out);
+  EXPECT_EQ(out, (std::vector<BlockNum>{6, 7}));
+}
+
+TEST_F(PrefetcherTest, SequentialStopsAtChunkBoundary) {
+  SequentialPrefetcher pf(4);
+  std::vector<BlockNum> out;
+  pf.expand(30, *table_, out);  // chunk 0 ends at block 31
+  EXPECT_EQ(out, (std::vector<BlockNum>{31}));
+}
+
+TEST_F(PrefetcherTest, RandomStaysWithinChunk) {
+  RandomPrefetcher pf(42);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<BlockNum> out;
+    pf.expand(33, *table_, out);  // chunk 1
+    for (BlockNum b : out) {
+      EXPECT_EQ(chunk_of_block(b), 1u);
+      EXPECT_NE(b, 33u);
+    }
+  }
+}
+
+TEST_F(PrefetcherTest, RandomNeverSelectsResident) {
+  RandomPrefetcher pf(42);
+  for (BlockNum b = 0; b < 31; ++b) {
+    if (b != 12) residency(b);
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::vector<BlockNum> out;
+    pf.expand(12, *table_, out);
+    for (BlockNum b : out) {
+      EXPECT_EQ(table_->block(b).residence, Residence::kHost);
+    }
+  }
+}
+
+TEST_F(PrefetcherTest, FactoryMakesAllKinds) {
+  EXPECT_EQ(make_prefetcher(PrefetcherKind::kNone, 1)->name(), "none");
+  EXPECT_EQ(make_prefetcher(PrefetcherKind::kSequential, 1)->name(), "sequential");
+  EXPECT_EQ(make_prefetcher(PrefetcherKind::kRandom, 1)->name(), "random");
+  EXPECT_EQ(make_prefetcher(PrefetcherKind::kTree, 1)->name(), "tree");
+}
+
+}  // namespace
+}  // namespace uvmsim

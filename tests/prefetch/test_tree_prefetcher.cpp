@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace uvmsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pure tree logic (expand_mask)
+// ---------------------------------------------------------------------------
+
+TEST(TreeMask, SingleLeafChunkNeverPrefetches) {
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b1, 0, 1), 0u);
+}
+
+TEST(TreeMask, FirstTouchOfPairPrefetchesSibling) {
+  // Two leaves, leaf 0 faulted: the 2-leaf subtree is 50 % occupied... which
+  // is not *strictly* more than 50 %, so nothing is prefetched yet? No: 1/2
+  // occupancy is exactly 50 %, the rule is strict.
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b01, 0, 2), 0u);
+}
+
+TEST(TreeMask, SecondTouchFillsNothingWhenSiblingPresent) {
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b11, 1, 2), 0u);
+}
+
+TEST(TreeMask, MajorityInPairPullsUpperLevels) {
+  // 4 leaves, leaves 0 and 1 occupied, fault at 1: pair {0,1} is 100 % (>50%)
+  // but fully occupied; the 4-subtree is 2/4 = 50 %, not strict, stop.
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b0011, 1, 4), 0u);
+  // Leaves 0,1,2 occupied, fault at 2: 4-subtree is 3/4 > 50 % -> leaf 3.
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b0111, 2, 4), 0b1000u);
+}
+
+TEST(TreeMask, CascadeToRoot) {
+  // 8 leaves: 0..4 occupied, fault at 4. Pair {4,5}: 1/2, not strict.
+  // Quad {4..7}: 1/4. Root {0..7}: 5/8 > 50 % -> prefetch 5,6,7.
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b00011111, 4, 8), 0b11100000u);
+}
+
+TEST(TreeMask, LowerLevelFillPropagates) {
+  // 8 leaves: 0,1,2 occupied plus fault at 6. Pair {6,7}: 1/2 no.
+  // Quad {4..7}: 1/4 no. Root: 4/8 no. Nothing prefetched.
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b01000111, 6, 8), 0u);
+  // Add leaf 5: root is 5/8 -> fills 3,4,7.
+  EXPECT_EQ(TreePrefetcher::expand_mask(0b01100111, 6, 8), 0b10011000u);
+}
+
+TEST(TreeMask, FaultedLeafNeverInResult) {
+  for (std::uint32_t leaf = 0; leaf < 8; ++leaf) {
+    const std::uint32_t occ = 0xffu & ~(1u << leaf);
+    const std::uint32_t mask = TreePrefetcher::expand_mask(occ | (1u << leaf), leaf, 8);
+    EXPECT_EQ(mask & (1u << leaf), 0u);
+  }
+}
+
+TEST(TreeMask, FullChunkPrefetchesNothing) {
+  EXPECT_EQ(TreePrefetcher::expand_mask(0xffffffffu, 13, 32), 0u);
+}
+
+// Property sweep: the prefetch mask never overlaps occupancy, stays within
+// the chunk, and never selects leaves outside subtrees above 50 % occupancy.
+class TreeMaskProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeMaskProperty, MaskIsConsistent) {
+  const std::uint32_t num_leaves = 16;
+  std::uint64_t s = GetParam();
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto occ_raw = static_cast<std::uint32_t>(splitmix64(s)) & 0xffffu;
+    const auto leaf = static_cast<std::uint32_t>(splitmix64(s)) % num_leaves;
+    const std::uint32_t occ = occ_raw | (1u << leaf);
+    const std::uint32_t mask = TreePrefetcher::expand_mask(occ, leaf, num_leaves);
+
+    EXPECT_EQ(mask & occ, 0u) << "prefetching an occupied leaf";
+    EXPECT_EQ(mask >> num_leaves, 0u) << "prefetching beyond the chunk";
+
+    // After applying the mask, every subtree containing the faulted leaf that
+    // was strictly above 50 % must be completely full.
+    const std::uint32_t after = occ | mask;
+    for (std::uint32_t size = 2; size <= num_leaves; size <<= 1) {
+      const std::uint32_t lo = leaf / size * size;
+      const std::uint32_t sub = (size >= 32 ? ~0u : ((1u << size) - 1)) << lo;
+      const auto count = static_cast<std::uint32_t>(std::popcount(after & sub));
+      if (count * 2 > size) {
+        // The rule applies bottom-up cumulatively; a >50 % subtree on the
+        // fault path must have been filled entirely.
+        EXPECT_EQ(after & sub, sub);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeMaskProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------------
+// Expansion against a real BlockTable
+// ---------------------------------------------------------------------------
+
+class TreeExpandTest : public ::testing::Test {
+ protected:
+  TreeExpandTest() {
+    space_.allocate("a", kLargePageSize + 256 * 1024);  // chunk0: 32, chunk1: 4
+    table_ = std::make_unique<BlockTable>(space_);
+  }
+  void residency(BlockNum b) {
+    table_->mark_in_flight(b);
+    table_->mark_resident(b, 1);
+  }
+  AddressSpace space_;
+  std::unique_ptr<BlockTable> table_;
+  TreePrefetcher pf_;
+};
+
+TEST_F(TreeExpandTest, ExpandsWithinChunkOnly) {
+  for (BlockNum b = 0; b < 20; ++b) residency(b);  // chunk 0 is 20/32
+  std::vector<BlockNum> out;
+  pf_.expand(20, *table_, out);  // 21/32 > 50 % at root
+  EXPECT_FALSE(out.empty());
+  for (BlockNum b : out) {
+    EXPECT_EQ(chunk_of_block(b), 0u);
+    EXPECT_EQ(table_->block(b).residence, Residence::kHost);
+  }
+}
+
+TEST_F(TreeExpandTest, EmptyChunkFirstTouchPrefetchesNothing) {
+  std::vector<BlockNum> out;
+  pf_.expand(0, *table_, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TreeExpandTest, PartialChunkUsesItsOwnLeafCount) {
+  // Chunk 1 has 4 blocks (32..35). Occupying 2 and faulting a third exceeds
+  // 50 % of the 4-leaf tree and pulls the last one.
+  residency(32);
+  residency(33);
+  std::vector<BlockNum> out;
+  pf_.expand(34, *table_, out);
+  EXPECT_EQ(out, (std::vector<BlockNum>{35}));
+}
+
+TEST_F(TreeExpandTest, InFlightBlocksCountAsOccupied) {
+  for (BlockNum b = 0; b < 16; ++b) residency(b);
+  table_->mark_in_flight(16);  // 17th block pending
+  std::vector<BlockNum> out;
+  pf_.expand(17, *table_, out);  // 18/32 > 50 %
+  EXPECT_FALSE(out.empty());
+  for (BlockNum b : out) EXPECT_NE(b, 16u);  // never re-selects in-flight
+}
+
+TEST_F(TreeExpandTest, AlreadySelectedBlocksCountAsOccupied) {
+  for (BlockNum b = 0; b < 15; ++b) residency(b);
+  std::vector<BlockNum> out{15, 16};  // pretend an earlier fault selected these
+  pf_.expand(17, *table_, out);
+  // No duplicates of pre-selected blocks.
+  std::vector<BlockNum> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,66 @@
+#include "report/run_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uvmsim {
+namespace {
+
+TEST(RunCsv, HeaderAndRowArityMatch) {
+  std::ostringstream os;
+  write_run_csv_header(os);
+
+  SimConfig cfg;
+  cfg.policy.policy = PolicyKind::kAdaptive;
+  RunResult r;
+  r.footprint_bytes = 100;
+  r.capacity_bytes = 80;
+  r.stats.kernel_cycles = 1234;
+  append_run_csv(os, "sssp", cfg, 1.25, r);
+
+  const std::string text = os.str();
+  const auto first_nl = text.find('\n');
+  const std::string header = text.substr(0, first_nl);
+  const std::string row = text.substr(first_nl + 1, text.size() - first_nl - 2);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+}
+
+TEST(RunCsv, RowContainsConfigurationAxes) {
+  std::ostringstream os;
+  SimConfig cfg;
+  cfg.policy.policy = PolicyKind::kStaticAlways;
+  cfg.policy.static_threshold = 16;
+  cfg.policy.migration_penalty = 4;
+  cfg.mem.eviction = EvictionKind::kLfu;
+  append_run_csv(os, "bfs", cfg, 1.5, RunResult{});
+  const std::string row = os.str();
+  EXPECT_NE(row.find("bfs,always,LFU,tree,16,4,1.5"), std::string::npos);
+}
+
+TEST(RunCsv, StatsLandInTheRow) {
+  std::ostringstream os;
+  RunResult r;
+  r.stats.pages_thrashed = 987654;
+  append_run_csv(os, "ra", SimConfig{}, 0.0, r);
+  EXPECT_NE(os.str().find("987654"), std::string::npos);
+}
+
+TEST(RunCsv, PolicySlugsAreStable) {
+  for (const auto& [kind, slug] :
+       std::vector<std::pair<PolicyKind, std::string>>{
+           {PolicyKind::kFirstTouch, "baseline"},
+           {PolicyKind::kStaticAlways, "always"},
+           {PolicyKind::kStaticOversub, "oversub"},
+           {PolicyKind::kAdaptive, "adaptive"}}) {
+    std::ostringstream os;
+    SimConfig cfg;
+    cfg.policy.policy = kind;
+    append_run_csv(os, "x", cfg, 0.0, RunResult{});
+    EXPECT_NE(os.str().find("x," + slug + ","), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

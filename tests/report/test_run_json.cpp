@@ -1,0 +1,48 @@
+#include "report/run_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uvmsim {
+namespace {
+
+TEST(RunJson, ContainsAxesAndStats) {
+  std::ostringstream os;
+  SimConfig cfg;
+  cfg.policy.policy = PolicyKind::kAdaptive;
+  RunResult r;
+  r.stats.kernel_cycles = 777;
+  r.stats.pages_thrashed = 4242;
+  write_run_json(os, "sssp", cfg, 1.25, r);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"workload\": \"sssp\""), std::string::npos);
+  EXPECT_NE(j.find("\"policy\": \"adaptive\""), std::string::npos);
+  EXPECT_NE(j.find("\"oversub\": 1.25"), std::string::npos);
+  EXPECT_NE(j.find("\"kernel_cycles\": 777"), std::string::npos);
+  EXPECT_NE(j.find("\"pages_thrashed\": 4242"), std::string::npos);
+}
+
+TEST(RunJson, IsBalancedAndTerminated) {
+  std::ostringstream os;
+  write_run_json(os, "x", SimConfig{}, 0.0, RunResult{});
+  const std::string j = os.str();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j[j.size() - 2], '}');
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 1);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '}'), 1);
+  // No trailing comma before the closing brace.
+  EXPECT_EQ(j.find(",\n}"), std::string::npos);
+}
+
+TEST(RunJson, QuotesStringsOnly) {
+  std::ostringstream os;
+  write_run_json(os, "ra", SimConfig{}, 1.5, RunResult{});
+  const std::string j = os.str();
+  // Numeric fields are unquoted.
+  EXPECT_NE(j.find("\"far_faults\": 0"), std::string::npos);
+  EXPECT_EQ(j.find("\"far_faults\": \"0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,141 @@
+#include "sim/config_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uvmsim {
+namespace {
+
+TEST(ConfigParse, SetsEnumsByName) {
+  SimConfig cfg;
+  apply_config_setting(cfg, "policy", "adaptive");
+  apply_config_setting(cfg, "mem.eviction", "lfu");
+  apply_config_setting(cfg, "mem.prefetcher", "none");
+  EXPECT_EQ(cfg.policy.policy, PolicyKind::kAdaptive);
+  EXPECT_EQ(cfg.mem.eviction, EvictionKind::kLfu);
+  EXPECT_EQ(cfg.mem.prefetcher, PrefetcherKind::kNone);
+}
+
+TEST(ConfigParse, SetsNumbersAndBooleans) {
+  SimConfig cfg;
+  apply_config_setting(cfg, "policy.static_threshold", "32");
+  apply_config_setting(cfg, "xfer.pcie_bandwidth_gbps", "31.5");
+  apply_config_setting(cfg, "gpu.l2.enabled", "true");
+  apply_config_setting(cfg, "mitigation.enabled", "on");
+  EXPECT_EQ(cfg.policy.static_threshold, 32u);
+  EXPECT_DOUBLE_EQ(cfg.xfer.pcie_bandwidth_gbps, 31.5);
+  EXPECT_TRUE(cfg.gpu.l2.enabled);
+  EXPECT_TRUE(cfg.mitigation.enabled);
+}
+
+TEST(ConfigParse, SizeSuffixes) {
+  SimConfig cfg;
+  apply_config_setting(cfg, "mem.device_capacity_bytes", "48MB");
+  EXPECT_EQ(cfg.mem.device_capacity_bytes, 48ull << 20);
+  apply_config_setting(cfg, "mem.device_capacity_bytes", "1 GB");
+  EXPECT_EQ(cfg.mem.device_capacity_bytes, 1ull << 30);
+  apply_config_setting(cfg, "gpu.l2.size_bytes", "512kb");
+  EXPECT_EQ(cfg.gpu.l2.size_bytes, 512ull << 10);
+}
+
+TEST(ConfigParse, KeyValueAssignmentForm) {
+  SimConfig cfg;
+  apply_config_setting(cfg, " policy.migration_penalty = 1048576 ");
+  EXPECT_EQ(cfg.policy.migration_penalty, 1048576u);
+}
+
+TEST(ConfigParse, CaseInsensitiveKeysAndValues) {
+  SimConfig cfg;
+  apply_config_setting(cfg, "Policy", "ADAPTIVE");
+  EXPECT_EQ(cfg.policy.policy, PolicyKind::kAdaptive);
+}
+
+TEST(ConfigParse, UnknownKeyThrows) {
+  SimConfig cfg;
+  EXPECT_THROW(apply_config_setting(cfg, "mem.nonsense", "1"), std::invalid_argument);
+}
+
+TEST(ConfigParse, BadValuesThrow) {
+  SimConfig cfg;
+  EXPECT_THROW(apply_config_setting(cfg, "policy", "bogus"), std::invalid_argument);
+  EXPECT_THROW(apply_config_setting(cfg, "gpu.num_sms", "many"), std::invalid_argument);
+  EXPECT_THROW(apply_config_setting(cfg, "gpu.l2.enabled", "perhaps"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_setting(cfg, "no-equals-sign"), std::invalid_argument);
+}
+
+TEST(ConfigParse, FileWithCommentsAndBlanks) {
+  SimConfig cfg;
+  std::istringstream file(R"(
+# experiment: PCIe 4.0 what-if
+xfer.pcie_bandwidth_gbps = 31.5
+policy = adaptive          # the paper's scheme
+mem.eviction = lfu
+
+policy.migration_penalty = 4
+)");
+  EXPECT_EQ(load_config_stream(cfg, file), 4u);
+  EXPECT_DOUBLE_EQ(cfg.xfer.pcie_bandwidth_gbps, 31.5);
+  EXPECT_EQ(cfg.policy.policy, PolicyKind::kAdaptive);
+  EXPECT_EQ(cfg.policy.migration_penalty, 4u);
+}
+
+TEST(ConfigParse, KeyListingIsNonTrivialAndSorted) {
+  const auto& keys = config_keys();
+  EXPECT_GT(keys.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "policy.migration_penalty"), keys.end());
+}
+
+TEST(ConfigRoundTrip, SerializeThenLoadReproducesEveryField) {
+  SimConfig original;
+  original.policy.policy = PolicyKind::kAdaptive;
+  original.policy.static_threshold = 16;
+  original.policy.migration_penalty = 1048576;
+  original.mem.eviction = EvictionKind::kTree;
+  original.mem.prefetcher = PrefetcherKind::kSequential;
+  original.mem.oversubscription = 1.25;
+  original.gpu.l2.enabled = true;
+  original.mitigation.enabled = true;
+  original.xfer.pcie_bandwidth_gbps = 31.5;
+  original.kernel_launch_overhead_us = 7.5;
+  original.copy_then_execute = true;
+  original.rng_seed = 12345;
+
+  std::istringstream in(to_config_string(original));
+  SimConfig restored;
+  load_config_stream(restored, in);
+
+  EXPECT_EQ(restored.policy.policy, original.policy.policy);
+  EXPECT_EQ(restored.policy.static_threshold, original.policy.static_threshold);
+  EXPECT_EQ(restored.policy.migration_penalty, original.policy.migration_penalty);
+  EXPECT_EQ(restored.mem.eviction, original.mem.eviction);
+  EXPECT_EQ(restored.mem.prefetcher, original.mem.prefetcher);
+  EXPECT_DOUBLE_EQ(restored.mem.oversubscription, original.mem.oversubscription);
+  EXPECT_EQ(restored.gpu.l2.enabled, original.gpu.l2.enabled);
+  EXPECT_EQ(restored.mitigation.enabled, original.mitigation.enabled);
+  EXPECT_DOUBLE_EQ(restored.xfer.pcie_bandwidth_gbps, original.xfer.pcie_bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(restored.kernel_launch_overhead_us, original.kernel_launch_overhead_us);
+  EXPECT_EQ(restored.copy_then_execute, original.copy_then_execute);
+  EXPECT_EQ(restored.rng_seed, original.rng_seed);
+}
+
+TEST(ConfigRoundTrip, DefaultsRoundTripToo) {
+  SimConfig original;
+  std::istringstream in(to_config_string(original));
+  SimConfig restored;
+  const std::size_t applied = load_config_stream(restored, in);
+  EXPECT_GE(applied, 30u);
+  EXPECT_EQ(to_config_string(restored), to_config_string(original));
+}
+
+TEST(ConfigParse, ParsedConfigValidates) {
+  SimConfig cfg;
+  std::istringstream file("mem.device_capacity_bytes = 32MB\npolicy.static_threshold = 16\n");
+  load_config_stream(cfg, file);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,99 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtCycleZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleEventsRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow) {
+  EventQueue q;
+  Cycle seen = 0;
+  q.schedule_at(100, [&] {
+    q.schedule_in(50, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_in(1, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunBoundedStopsAtLimit) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    q.schedule_in(1, forever);
+  };
+  q.schedule_at(0, forever);
+  EXPECT_EQ(q.run_bounded(100), 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, ExecutedCountsAllEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(static_cast<Cycle>(i), [] {});
+  q.run();
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueue, ClockDoesNotAdvancePastLastEvent) {
+  EventQueue q;
+  q.schedule_at(42, [] {});
+  q.run();
+  EXPECT_EQ(q.now(), 42u);
+  q.schedule_at(42, [] {});  // same-cycle scheduling after run is legal
+  q.run();
+  EXPECT_EQ(q.now(), 42u);
+}
+
+}  // namespace
+}  // namespace uvmsim

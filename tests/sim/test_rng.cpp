@@ -1,0 +1,127 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(13);
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[r.below(8)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 8, kDraws / 80);  // within 10 %
+  }
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ZipfPrefersSmallRanks) {
+  Rng r(19);
+  std::uint64_t low = 0, high = 0;
+  constexpr std::uint64_t kN = 1000;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = r.zipf(kN, 0.8);
+    ASSERT_LT(v, kN);
+    if (v < kN / 10) ++low;
+    if (v >= 9 * kN / 10) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(Rng, ZipfAlphaZeroIsUniform) {
+  Rng r(23);
+  std::uint64_t low = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (r.zipf(1000, 0.0) < 100) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / 50000.0, 0.1, 0.02);
+}
+
+TEST(Rng, ZipfHandlesDegenerateSizes) {
+  Rng r(29);
+  EXPECT_EQ(r.zipf(0, 1.0), 0u);
+  EXPECT_EQ(r.zipf(1, 1.0), 0u);
+}
+
+TEST(Splitmix, AdvancesStateAndIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(s1, 42u);
+  EXPECT_NE(splitmix64(s1), a);
+}
+
+TEST(Rng, ReseedReproducesSequence) {
+  Rng r(5);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(r.next());
+  r.reseed(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.next(), first[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,58 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Stats, DefaultsToZero) {
+  const SimStats s;
+  EXPECT_EQ(s.total_accesses, 0u);
+  EXPECT_EQ(s.far_faults, 0u);
+  EXPECT_EQ(s.pages_thrashed, 0u);
+  EXPECT_EQ(s.kernel_cycles, 0u);
+}
+
+TEST(Stats, AccumulateSumsEveryField) {
+  SimStats a;
+  a.total_accesses = 10;
+  a.local_accesses = 5;
+  a.remote_accesses = 3;
+  a.far_faults = 2;
+  a.blocks_migrated = 4;
+  a.pages_thrashed = 32;
+  a.kernel_cycles = 100;
+
+  SimStats b;
+  b.total_accesses = 1;
+  b.local_accesses = 1;
+  b.remote_accesses = 1;
+  b.far_faults = 1;
+  b.blocks_migrated = 1;
+  b.pages_thrashed = 16;
+  b.kernel_cycles = 50;
+
+  a.accumulate(b);
+  EXPECT_EQ(a.total_accesses, 11u);
+  EXPECT_EQ(a.local_accesses, 6u);
+  EXPECT_EQ(a.remote_accesses, 4u);
+  EXPECT_EQ(a.far_faults, 3u);
+  EXPECT_EQ(a.blocks_migrated, 5u);
+  EXPECT_EQ(a.pages_thrashed, 48u);
+  EXPECT_EQ(a.kernel_cycles, 150u);
+}
+
+TEST(Stats, ReportContainsHeadlineNumbers) {
+  SimStats s;
+  s.total_accesses = 1234;
+  s.far_faults = 56;
+  s.pages_thrashed = 789;
+  const std::string r = s.report();
+  EXPECT_NE(r.find("1234"), std::string::npos);
+  EXPECT_NE(r.find("56"), std::string::npos);
+  EXPECT_NE(r.find("789"), std::string::npos);
+  EXPECT_NE(r.find("thrashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uvmsim

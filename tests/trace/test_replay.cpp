@@ -1,0 +1,171 @@
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulator.hpp"
+
+namespace uvmsim {
+namespace {
+
+RecordedTrace tiny_trace() {
+  RecordedTrace t;
+  t.allocations = {{"a", kLargePageSize}, {"b", 3 * kBasicBlockSize}};
+  t.launches.push_back(
+      {"k1",
+       {TraceRecord{0, 4, AccessType::kRead, 10},
+        TraceRecord{kPageSize, 1, AccessType::kWrite, 0}}});
+  t.launches.push_back({"k2", {TraceRecord{kLargePageSize, 2, AccessType::kRead, 5}}});
+  return t;
+}
+
+TEST(RecordedTrace, SaveLoadRoundTrip) {
+  const RecordedTrace t = tiny_trace();
+  std::stringstream ss;
+  t.save(ss);
+  const RecordedTrace u = RecordedTrace::load(ss);
+
+  ASSERT_EQ(u.allocations.size(), 2u);
+  EXPECT_EQ(u.allocations[0].first, "a");
+  EXPECT_EQ(u.allocations[0].second, kLargePageSize);
+  ASSERT_EQ(u.launches.size(), 2u);
+  EXPECT_EQ(u.launches[0].kernel, "k1");
+  ASSERT_EQ(u.launches[0].records.size(), 2u);
+  EXPECT_EQ(u.launches[0].records[0].addr, 0u);
+  EXPECT_EQ(u.launches[0].records[0].count, 4u);
+  EXPECT_EQ(u.launches[0].records[0].gap, 10u);
+  EXPECT_EQ(u.launches[0].records[1].type, AccessType::kWrite);
+  EXPECT_EQ(u.total_records(), 3u);
+}
+
+TEST(RecordedTrace, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACE";
+  EXPECT_THROW(RecordedTrace::load(ss), std::runtime_error);
+}
+
+TEST(RecordedTrace, RejectsTruncatedInput) {
+  const RecordedTrace t = tiny_trace();
+  std::stringstream ss;
+  t.save(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(RecordedTrace::load(cut), std::runtime_error);
+}
+
+TEST(TraceRecorder, CapturesLayoutAndAccesses) {
+  AddressSpace space;
+  space.allocate("x", kLargePageSize);
+  TraceRecorder rec;
+  rec.capture_layout(space);
+  rec.on_kernel_begin(0, "k");
+  rec.on_access(100, 64, AccessType::kRead, 2, true);
+  rec.on_access(200, 128, AccessType::kWrite, 1, false);
+
+  const RecordedTrace& t = rec.trace();
+  ASSERT_EQ(t.allocations.size(), 1u);
+  EXPECT_EQ(t.allocations[0].first, "x");
+  ASSERT_EQ(t.launches.size(), 1u);
+  EXPECT_EQ(t.launches[0].records.size(), 2u);
+}
+
+TEST(TraceRecorder, AccessBeforeKernelGetsImplicitLaunch) {
+  TraceRecorder rec;
+  rec.on_access(1, 0, AccessType::kRead, 1, true);
+  ASSERT_EQ(rec.trace().launches.size(), 1u);
+  EXPECT_EQ(rec.trace().launches[0].kernel, "<implicit>");
+}
+
+TEST(TraceWorkload, ReplaysRecordedAccesses) {
+  TraceWorkload wl(tiny_trace());
+  AddressSpace space;
+  wl.build(space);
+  EXPECT_EQ(space.num_allocations(), 2u);
+
+  const auto seq = wl.schedule();
+  ASSERT_EQ(seq.size(), 2u);
+  std::vector<Access> buf;
+  seq[0]->gen_task(0, buf);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0].addr, 0u);
+  EXPECT_EQ(buf[0].count, 4u);
+  EXPECT_EQ(buf[1].type, AccessType::kWrite);
+}
+
+TEST(TraceWorkload, EmptyTraceThrows) {
+  TraceWorkload wl(RecordedTrace{});
+  AddressSpace space;
+  EXPECT_THROW(wl.build(space), std::invalid_argument);
+}
+
+// End-to-end: record a real workload, replay it, and compare access totals.
+TEST(RecordReplay, EndToEndRoundTrip) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  SimConfig cfg;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+  cfg.collect_traces = true;
+
+  // Record.
+  auto original = make_workload("fdtd", params);
+  AddressSpace sizing;
+  make_workload("fdtd", params)->build(sizing);
+  TraceRecorder rec;
+  rec.capture_layout(sizing);
+  Simulator record_sim(cfg);
+  record_sim.set_trace_sink(&rec);
+  const RunResult recorded = record_sim.run(*original);
+
+  // Serialize + reload.
+  std::stringstream ss;
+  rec.trace().save(ss);
+  TraceWorkload replay(RecordedTrace::load(ss));
+
+  // Replay under the same configuration.
+  SimConfig replay_cfg = cfg;
+  replay_cfg.collect_traces = false;
+  Simulator replay_sim(replay_cfg);
+  const RunResult replayed = replay_sim.run(replay);
+
+  EXPECT_EQ(replayed.stats.total_accesses, recorded.stats.total_accesses);
+  EXPECT_EQ(replayed.footprint_bytes, recorded.footprint_bytes);
+  EXPECT_EQ(replayed.kernels.size(), recorded.kernels.size());
+}
+
+TEST(RecordReplay, ReplayUnderDifferentPolicies) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  SimConfig cfg;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+  cfg.collect_traces = true;
+  cfg.mem.oversubscription = 1.25;
+
+  auto original = make_workload("ra", params);
+  AddressSpace sizing;
+  make_workload("ra", params)->build(sizing);
+  TraceRecorder rec;
+  rec.capture_layout(sizing);
+  Simulator record_sim(cfg);
+  record_sim.set_trace_sink(&rec);
+  (void)record_sim.run(*original);
+
+  // The same trace, two different drivers.
+  TraceWorkload replay1(rec.trace());
+  TraceWorkload replay2(rec.trace());
+  SimConfig base = cfg;
+  base.collect_traces = false;
+  SimConfig adaptive = base;
+  adaptive.policy.policy = PolicyKind::kAdaptive;
+  adaptive.mem.eviction = EvictionKind::kLfu;
+
+  const RunResult rb = Simulator(base).run(replay1);
+  const RunResult ra_ = Simulator(adaptive).run(replay2);
+  EXPECT_EQ(rb.stats.total_accesses, ra_.stats.total_accesses);
+  EXPECT_LT(ra_.stats.pages_thrashed, rb.stats.pages_thrashed);
+}
+
+}  // namespace
+}  // namespace uvmsim

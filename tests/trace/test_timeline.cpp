@@ -1,0 +1,81 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(Timeline, OccupancyComputation) {
+  TimelineSample s;
+  s.used_blocks = 16;
+  s.capacity_blocks = 32;
+  EXPECT_DOUBLE_EQ(s.occupancy(), 0.5);
+  s.capacity_blocks = 0;
+  EXPECT_DOUBLE_EQ(s.occupancy(), 0.0);
+}
+
+TEST(Timeline, CsvFormat) {
+  Timeline t;
+  t.add(TimelineSample{100, 8, 32, 5, 2, 16, 1024, 512});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cycle,occupancy"), std::string::npos);
+  EXPECT_NE(s.find("100,0.25,8,5,2,16,1024,512"), std::string::npos);
+}
+
+TEST(Timeline, SimulatorSamplesPeriodically) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  SimConfig cfg;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+
+  auto wl = make_workload("fdtd", params);
+  Timeline timeline;
+  Simulator sim(cfg);
+  sim.set_timeline(&timeline, /*interval=*/50000);
+  const RunResult r = sim.run(*wl);
+
+  ASSERT_GT(timeline.samples().size(), 2u);
+  // Samples are spaced by the interval and cycles are monotone.
+  for (std::size_t i = 1; i < timeline.samples().size(); ++i) {
+    EXPECT_EQ(timeline.samples()[i].cycle - timeline.samples()[i - 1].cycle, 50000u);
+  }
+  // Counters are monotone non-decreasing.
+  for (std::size_t i = 1; i < timeline.samples().size(); ++i) {
+    EXPECT_GE(timeline.samples()[i].far_faults, timeline.samples()[i - 1].far_faults);
+    EXPECT_GE(timeline.samples()[i].bytes_h2d, timeline.samples()[i - 1].bytes_h2d);
+  }
+  // The final sample's cumulative counters are bounded by the run totals.
+  EXPECT_LE(timeline.samples().back().far_faults, r.stats.far_faults);
+  // Occupancy eventually reflects the migrated working set.
+  EXPECT_GT(timeline.samples().back().used_blocks, 0u);
+}
+
+TEST(Timeline, ShowsMemoryFillingUp) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  SimConfig cfg;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+  cfg.mem.oversubscription = 1.25;
+
+  auto wl = make_workload("ra", params);
+  Timeline timeline;
+  Simulator sim(cfg);
+  sim.set_timeline(&timeline, 50000);
+  (void)sim.run(*wl);
+
+  ASSERT_GT(timeline.samples().size(), 2u);
+  EXPECT_LT(timeline.samples().front().occupancy(), 0.5);
+  EXPECT_GT(timeline.samples().back().occupancy(), 0.9);  // full under pressure
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,130 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uvmsim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() {
+    a_ = space_.allocate("hot", kLargePageSize);
+    b_ = space_.allocate("cold", kLargePageSize);
+  }
+  AddressSpace space_;
+  AllocId a_, b_;
+};
+
+TEST_F(TraceTest, HistogramCountsReadsAndWrites) {
+  PageHistogram h(space_);
+  h.on_access(0, 0, AccessType::kRead, 3, true);
+  h.on_access(1, 0, AccessType::kWrite, 2, true);
+  h.on_access(2, kPageSize, AccessType::kRead, 1, false);
+  EXPECT_EQ(h.reads(0), 3u);
+  EXPECT_EQ(h.writes(0), 2u);
+  EXPECT_EQ(h.total(0), 5u);
+  EXPECT_EQ(h.reads(1), 1u);
+}
+
+TEST_F(TraceTest, SummaryClassifiesReadOnlyAndWrittenPages) {
+  PageHistogram h(space_);
+  const VirtAddr cold_base = space_.alloc(b_).base;
+  // Hot allocation: page 0 read+written, page 1 read-only.
+  h.on_access(0, 0, AccessType::kRead, 10, true);
+  h.on_access(0, 0, AccessType::kWrite, 5, true);
+  h.on_access(0, kPageSize, AccessType::kRead, 2, true);
+  // Cold allocation: one read-only page.
+  h.on_access(0, cold_base, AccessType::kRead, 1, true);
+
+  const auto summaries = h.summarize();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].name, "hot");
+  EXPECT_EQ(summaries[0].touched_pages, 2u);
+  EXPECT_EQ(summaries[0].written_pages, 1u);
+  EXPECT_EQ(summaries[0].read_only_pages, 1u);
+  EXPECT_EQ(summaries[0].total_accesses, 17u);
+  EXPECT_EQ(summaries[0].max_page_accesses, 15u);
+  EXPECT_EQ(summaries[1].name, "cold");
+  EXPECT_EQ(summaries[1].total_accesses, 1u);
+  EXPECT_EQ(summaries[1].read_only_pages, 1u);
+}
+
+TEST_F(TraceTest, TopDecileShareDetectsSkew) {
+  PageHistogram uniform(space_);
+  PageHistogram skewed(space_);
+  for (PageNum p = 0; p < 100; ++p) {
+    uniform.on_access(0, p * kPageSize, AccessType::kRead, 10, true);
+    skewed.on_access(0, p * kPageSize, AccessType::kRead, p < 10 ? 1000 : 1, true);
+  }
+  const auto u = uniform.summarize()[0];
+  const auto s = skewed.summarize()[0];
+  EXPECT_NEAR(u.top_decile_share, 0.1, 0.02);
+  EXPECT_GT(s.top_decile_share, 0.9);
+}
+
+TEST_F(TraceTest, HistogramCsvFormat) {
+  PageHistogram h(space_);
+  h.on_access(0, 0, AccessType::kRead, 2, true);
+  h.on_access(0, 0, AccessType::kWrite, 1, true);
+  std::ostringstream os;
+  h.write_csv(os);
+  EXPECT_EQ(os.str(), "allocation,page_index,reads,writes\nhot,0,2,1\n");
+}
+
+TEST_F(TraceTest, HistogramIgnoresUnmappedAddresses) {
+  PageHistogram h(space_);
+  h.on_access(0, space_.span_end() + kPageSize, AccessType::kRead, 1, true);
+  const auto summaries = h.summarize();
+  EXPECT_EQ(summaries[0].touched_pages + summaries[1].touched_pages, 0u);
+}
+
+TEST(TimeSeries, SamplesEveryStride) {
+  TimeSeriesSampler ts(4);
+  for (Cycle c = 0; c < 16; ++c) {
+    ts.on_access(c, c * kPageSize, AccessType::kRead, 1, true);
+  }
+  ASSERT_EQ(ts.samples().size(), 4u);
+  EXPECT_EQ(ts.samples()[0].cycle, 0u);
+  EXPECT_EQ(ts.samples()[1].cycle, 4u);
+  EXPECT_EQ(ts.samples()[1].page, 4u);
+}
+
+TEST(TimeSeries, TagsKernelLaunches) {
+  TimeSeriesSampler ts(1);
+  ts.on_kernel_begin(0, "k1");
+  ts.on_access(0, 0, AccessType::kRead, 1, true);
+  ts.on_kernel_begin(1, "k2");
+  ts.on_access(5, kPageSize, AccessType::kWrite, 1, true);
+  ASSERT_EQ(ts.samples().size(), 2u);
+  EXPECT_EQ(ts.samples()[0].launch, 0u);
+  EXPECT_EQ(ts.samples()[1].launch, 1u);
+  EXPECT_EQ(ts.launch_names()[1], "k2");
+}
+
+TEST(TimeSeries, CsvContainsKernelNames) {
+  TimeSeriesSampler ts(1);
+  ts.on_kernel_begin(0, "mykernel");
+  ts.on_access(7, 2 * kPageSize, AccessType::kWrite, 1, true);
+  std::ostringstream os;
+  ts.write_csv(os);
+  EXPECT_NE(os.str().find("7,2,0,mykernel,W"), std::string::npos);
+}
+
+TEST(MultiSinkTest, FansOutToAllSinks) {
+  AddressSpace space;
+  space.allocate("a", kLargePageSize);
+  PageHistogram h(space);
+  TimeSeriesSampler ts(1);
+  MultiSink multi;
+  multi.add(&h);
+  multi.add(&ts);
+  multi.on_kernel_begin(0, "k");
+  multi.on_access(3, 0, AccessType::kRead, 2, true);
+  EXPECT_EQ(h.reads(0), 2u);
+  EXPECT_EQ(ts.samples().size(), 1u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,117 @@
+#include "workloads/graph_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace uvmsim {
+namespace {
+
+TEST(GraphGen, CsrInvariants) {
+  const CsrGraph g = make_power_law_graph(1000, 8, 0.6, 42);
+  EXPECT_EQ(g.num_nodes, 1000u);
+  ASSERT_EQ(g.offsets.size(), 1001u);
+  EXPECT_EQ(g.offsets.front(), 0u);
+  for (std::size_t i = 1; i < g.offsets.size(); ++i) {
+    EXPECT_GE(g.offsets[i], g.offsets[i - 1]);  // monotone
+  }
+  EXPECT_EQ(g.targets.size(), g.num_edges());
+  for (const auto t : g.targets) EXPECT_LT(t, g.num_nodes);
+}
+
+TEST(GraphGen, AverageDegreeIsApproximatelyRequested) {
+  const CsrGraph g = make_power_law_graph(5000, 10, 0.6, 7);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes;
+  EXPECT_NEAR(avg, 10.0, 2.0);
+}
+
+TEST(GraphGen, DegreesAreSkewed) {
+  const CsrGraph g = make_power_law_graph(5000, 10, 0.8, 11);
+  std::uint32_t max_deg = 0;
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) max_deg = std::max(max_deg, g.degree(v));
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes;
+  EXPECT_GT(max_deg, 2 * avg);  // heavy tail
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) EXPECT_GE(g.degree(v), 1u);
+}
+
+TEST(GraphGen, DeterministicForSeed) {
+  const CsrGraph a = make_power_law_graph(500, 6, 0.6, 99);
+  const CsrGraph b = make_power_law_graph(500, 6, 0.6, 99);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.targets, b.targets);
+  const CsrGraph c = make_power_law_graph(500, 6, 0.6, 100);
+  EXPECT_NE(a.targets, c.targets);
+}
+
+TEST(BfsLevels, FirstLevelIsSource) {
+  const CsrGraph g = make_power_law_graph(2000, 8, 0.6, 13);
+  const auto levels = bfs_levels(g, 0);
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels[0], std::vector<std::uint32_t>{0});
+}
+
+TEST(BfsLevels, NoNodeAppearsTwice) {
+  const CsrGraph g = make_power_law_graph(2000, 8, 0.6, 13);
+  const auto levels = bfs_levels(g, 0);
+  std::set<std::uint32_t> seen;
+  for (const auto& level : levels) {
+    for (const auto v : level) {
+      EXPECT_TRUE(seen.insert(v).second) << "node " << v << " visited twice";
+    }
+  }
+}
+
+TEST(BfsLevels, ReachesMostOfARandomGraph) {
+  const CsrGraph g = make_power_law_graph(5000, 10, 0.6, 17);
+  const auto levels = bfs_levels(g, 0);
+  std::size_t reached = 0;
+  for (const auto& level : levels) reached += level.size();
+  EXPECT_GT(reached, g.num_nodes / 2);  // random graphs are well connected
+  EXPECT_GE(levels.size(), 3u);         // interesting level structure
+}
+
+TEST(BfsLevels, FrontierGrowsThenShrinks) {
+  const CsrGraph g = make_power_law_graph(20000, 10, 0.6, 23);
+  const auto levels = bfs_levels(g, 0);
+  std::size_t peak = 0, peak_idx = 0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].size() > peak) {
+      peak = levels[i].size();
+      peak_idx = i;
+    }
+  }
+  EXPECT_GT(peak_idx, 0u);
+  EXPECT_LT(peak_idx, levels.size() - 1);
+  EXPECT_LT(levels.back().size(), peak);
+}
+
+TEST(SsspRounds, StartsAtSourceAndConverges) {
+  const CsrGraph g = make_power_law_graph(3000, 8, 0.6, 31);
+  const auto rounds = sssp_rounds(g, 0, 32, 31);
+  ASSERT_FALSE(rounds.empty());
+  EXPECT_EQ(rounds[0], std::vector<std::uint32_t>{0});
+  EXPECT_LT(rounds.size(), 32u);  // converged before the cap
+}
+
+TEST(SsspRounds, RespectsRoundCap) {
+  const CsrGraph g = make_power_law_graph(3000, 8, 0.6, 31);
+  const auto rounds = sssp_rounds(g, 0, 3, 31);
+  EXPECT_LE(rounds.size(), 3u);
+}
+
+TEST(SsspRounds, WorklistsRevisitNodes) {
+  // Unlike BFS, Bellman-Ford relaxation can requeue a node in later rounds.
+  const CsrGraph g = make_power_law_graph(3000, 10, 0.6, 37);
+  const auto rounds = sssp_rounds(g, 0, 16, 37);
+  std::size_t total = 0;
+  std::set<std::uint32_t> distinct;
+  for (const auto& r : rounds) {
+    total += r.size();
+    distinct.insert(r.begin(), r.end());
+  }
+  EXPECT_GT(total, distinct.size());
+}
+
+}  // namespace
+}  // namespace uvmsim

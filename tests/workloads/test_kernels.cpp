@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/common.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(MapKernel, CoversAllLinesExactlyOnce) {
+  MapKernel::Options opt;
+  opt.count = 8;
+  opt.lines_per_task = 16;
+  MapKernel k("k", {{0, 100 * 8 * kWarpAccessBytes, AccessType::kRead, 0, 1}}, 100, opt);
+  EXPECT_EQ(k.num_tasks(), 7u);  // ceil(100/16)
+
+  std::set<VirtAddr> seen;
+  std::vector<Access> buf;
+  for (std::uint64_t t = 0; t < k.num_tasks(); ++t) {
+    buf.clear();
+    k.gen_task(t, buf);
+    for (const Access& a : buf) {
+      EXPECT_TRUE(seen.insert(a.addr).second);
+      EXPECT_EQ(a.count, 8);
+      EXPECT_EQ(a.type, AccessType::kRead);
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u * 8 * kWarpAccessBytes);
+}
+
+TEST(MapKernel, MultipleOperandsInterleave) {
+  MapKernel::Options opt;
+  opt.count = 4;
+  opt.lines_per_task = 4;
+  MapKernel k("k",
+              {{0, 1 << 20, AccessType::kRead, 0, 1}, {1 << 20, 1 << 20, AccessType::kWrite, 0, 1}},
+              4, opt);
+  std::vector<Access> buf;
+  k.gen_task(0, buf);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf[0].addr, 0u);
+  EXPECT_EQ(buf[1].addr, 1u << 20);
+  EXPECT_EQ(buf[1].type, AccessType::kWrite);
+  EXPECT_EQ(buf[2].addr, 4u * kWarpAccessBytes);
+}
+
+TEST(MapKernel, StrideShiftRevisitsSmallerArray) {
+  MapKernel::Options opt;
+  opt.count = 8;
+  opt.lines_per_task = 8;
+  MapKernel k("k", {{0, 1 << 20, AccessType::kRead, 2, 1}}, 8, opt);
+  std::vector<Access> buf;
+  k.gen_task(0, buf);
+  ASSERT_EQ(buf.size(), 8u);
+  // Lines 0..3 map to offset 0; lines 4..7 map to the next line.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)].addr, 0u);
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(buf[static_cast<std::size_t>(i)].addr, 8u * kWarpAccessBytes);
+  }
+}
+
+TEST(MapKernel, RepeatEmitsStencilReReads) {
+  MapKernel::Options opt;
+  opt.lines_per_task = 2;
+  MapKernel k("k", {{0, 1 << 20, AccessType::kRead, 0, 3}}, 2, opt);
+  std::vector<Access> buf;
+  k.gen_task(0, buf);
+  EXPECT_EQ(buf.size(), 6u);
+}
+
+TEST(MapKernel, HotLinesGetExtraAccesses) {
+  MapKernel::Options opt;
+  opt.lines_per_task = 16;
+  opt.hot_line_every = 8;
+  opt.hot_extra = 2;
+  MapKernel k("k", {{0, 1 << 20, AccessType::kRead, 0, 1}}, 16, opt);
+  std::vector<Access> buf;
+  k.gen_task(0, buf);
+  // Lines 0 and 8 are hot: 3 accesses each; the other 14 lines get 1.
+  EXPECT_EQ(buf.size(), 14u + 2u * 3u);
+}
+
+TEST(MapKernel, LastTaskIsTruncated) {
+  MapKernel::Options opt;
+  opt.lines_per_task = 64;
+  MapKernel k("k", {{0, 1 << 20, AccessType::kRead, 0, 1}}, 70, opt);
+  std::vector<Access> buf;
+  k.gen_task(1, buf);
+  EXPECT_EQ(buf.size(), 6u);
+}
+
+TEST(MapKernel, GapPropagates) {
+  MapKernel::Options opt;
+  opt.gap = 123;
+  opt.lines_per_task = 1;
+  MapKernel k("k", {{0, 1 << 20, AccessType::kRead, 0, 1}}, 1, opt);
+  std::vector<Access> buf;
+  k.gen_task(0, buf);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0].gap, 123);
+}
+
+TEST(TaskRng, DeterministicAndDistinct) {
+  Rng a = task_rng(1, 2, 3);
+  Rng b = task_rng(1, 2, 3);
+  EXPECT_EQ(a.next(), b.next());
+  Rng c = task_rng(1, 2, 4);
+  Rng d = task_rng(1, 3, 3);
+  EXPECT_NE(task_rng(1, 2, 3).next(), c.next());
+  EXPECT_NE(task_rng(1, 2, 3).next(), d.next());
+}
+
+TEST(Region, LinesAndOffsets) {
+  AddressSpace space;
+  const Region r = make_region(space, "r", kLargePageSize);
+  EXPECT_EQ(r.bytes, kLargePageSize);
+  EXPECT_EQ(r.lines(1024), kLargePageSize / 1024);
+  EXPECT_EQ(r.at(100), r.base + 100);
+}
+
+TEST(ScaledBytes, RoundsToBlocks) {
+  EXPECT_EQ(scaled_bytes(1.0, 1.0), 1024u * 1024);
+  EXPECT_EQ(scaled_bytes(1.0, 0.5), 512u * 1024);
+  EXPECT_EQ(scaled_bytes(0.001, 1.0), kBasicBlockSize);  // clamps to one block
+  EXPECT_EQ(scaled_bytes(10.0, 1.0) % kBasicBlockSize, 0u);
+}
+
+TEST(AccessStruct, BytesFollowsCount) {
+  Access a{0, AccessType::kRead, 4, 0};
+  EXPECT_EQ(a.bytes(), 512u);
+}
+
+}  // namespace
+}  // namespace uvmsim

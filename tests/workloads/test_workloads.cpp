@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+namespace {
+
+WorkloadParams tiny() {
+  WorkloadParams p;
+  p.scale = 0.1;
+  return p;
+}
+
+TEST(Registry, KnowsAllEightBenchmarks) {
+  const auto& names = workload_names();
+  ASSERT_EQ(names.size(), 8u);
+  for (const auto& n : names) {
+    auto wl = make_workload(n, tiny());
+    ASSERT_NE(wl, nullptr);
+    EXPECT_EQ(wl->name(), n);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("nosuch", tiny()), std::invalid_argument);
+}
+
+TEST(Registry, PaperClassification) {
+  for (const auto& n : {"backprop", "fdtd", "hotspot", "srad"}) {
+    EXPECT_FALSE(make_workload(n, tiny())->irregular()) << n;
+  }
+  for (const auto& n : {"bfs", "nw", "ra", "sssp"}) {
+    EXPECT_TRUE(make_workload(n, tiny())->irregular()) << n;
+  }
+}
+
+class WorkloadShape : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadShape, BuildsAllocationsAndSchedule) {
+  auto wl = make_workload(GetParam(), tiny());
+  AddressSpace space;
+  wl->build(space);
+  EXPECT_GT(space.num_allocations(), 1u);
+  EXPECT_GT(space.footprint_bytes(), 0u);
+
+  const auto schedule = wl->schedule();
+  EXPECT_FALSE(schedule.empty());
+  for (const auto& k : schedule) {
+    ASSERT_NE(k, nullptr);
+    EXPECT_FALSE(k->name().empty());
+  }
+}
+
+TEST_P(WorkloadShape, AccessesStayWithinAllocations) {
+  auto wl = make_workload(GetParam(), tiny());
+  AddressSpace space;
+  wl->build(space);
+  std::vector<Access> buf;
+  std::uint64_t checked = 0;
+  for (const auto& k : wl->schedule()) {
+    const std::uint64_t tasks = k->num_tasks();
+    // Sample tasks across the kernel (checking all is slow for big kernels).
+    for (std::uint64_t t = 0; t < tasks && checked < 200000; t += 1 + tasks / 64) {
+      buf.clear();
+      k->gen_task(t, buf);
+      for (const Access& a : buf) {
+        ++checked;
+        const auto owner = space.find(a.addr);
+        ASSERT_TRUE(owner.has_value())
+            << GetParam() << ": " << k->name() << " touches unmapped VA " << a.addr;
+        // The whole coalesced run must stay inside one basic block's span
+        // and inside the allocation.
+        EXPECT_TRUE(space.alloc(*owner).contains(a.addr + a.bytes() - 1));
+        EXPECT_EQ(block_of(a.addr), block_of(a.addr + a.bytes() - 1))
+            << "coalesced run crosses a 64 KB boundary";
+        EXPECT_GE(a.count, 1u);
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(WorkloadShape, DeterministicGeneration) {
+  auto w1 = make_workload(GetParam(), tiny());
+  auto w2 = make_workload(GetParam(), tiny());
+  AddressSpace s1, s2;
+  w1->build(s1);
+  w2->build(s2);
+  EXPECT_EQ(s1.footprint_bytes(), s2.footprint_bytes());
+
+  const auto k1 = w1->schedule();
+  const auto k2 = w2->schedule();
+  ASSERT_EQ(k1.size(), k2.size());
+  std::vector<Access> a, b;
+  for (std::size_t i = 0; i < k1.size(); i += 1 + k1.size() / 8) {
+    ASSERT_EQ(k1[i]->num_tasks(), k2[i]->num_tasks());
+    if (k1[i]->num_tasks() == 0) continue;
+    a.clear();
+    b.clear();
+    k1[i]->gen_task(0, a);
+    k2[i]->gen_task(0, b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].addr, b[j].addr);
+      EXPECT_EQ(a[j].type, b[j].type);
+      EXPECT_EQ(a[j].count, b[j].count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadShape,
+                         ::testing::Values("backprop", "fdtd", "hotspot", "srad", "bfs",
+                                           "nw", "ra", "sssp"));
+
+TEST(WorkloadScale, ScaleGrowsFootprint) {
+  for (const auto& n : workload_names()) {
+    WorkloadParams small, big;
+    small.scale = 0.1;
+    big.scale = 0.3;
+    AddressSpace s1, s2;
+    make_workload(n, small)->build(s1);
+    make_workload(n, big)->build(s2);
+    EXPECT_LT(s1.footprint_bytes(), s2.footprint_bytes()) << n;
+  }
+}
+
+TEST(WorkloadSeeds, IrregularWorkloadsVaryWithSeed) {
+  WorkloadParams p1 = tiny(), p2 = tiny();
+  p1.seed = 1;
+  p2.seed = 2;
+  auto w1 = make_workload("ra", p1);
+  auto w2 = make_workload("ra", p2);
+  AddressSpace s1, s2;
+  w1->build(s1);
+  w2->build(s2);
+  std::vector<Access> a, b;
+  w1->schedule()[0]->gen_task(0, a);
+  w2->schedule()[0]->gen_task(0, b);
+  std::set<VirtAddr> addrs_a, addrs_b;
+  for (const Access& x : a) addrs_a.insert(x.addr);
+  for (const Access& x : b) addrs_b.insert(x.addr);
+  EXPECT_NE(addrs_a, addrs_b);
+}
+
+TEST(WorkloadIterations, IterationOverrideChangesScheduleLength) {
+  WorkloadParams p = tiny();
+  p.iterations = 2;
+  const auto short_run = make_workload("fdtd", p);
+  p.iterations = 6;
+  const auto long_run = make_workload("fdtd", p);
+  AddressSpace s1, s2;
+  short_run->build(s1);
+  long_run->build(s2);
+  EXPECT_LT(short_run->schedule().size(), long_run->schedule().size());
+}
+
+}  // namespace
+}  // namespace uvmsim

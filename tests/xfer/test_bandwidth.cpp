@@ -1,0 +1,48 @@
+#include "xfer/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Bandwidth, SingleTransferTiming) {
+  BandwidthRegulator r(10.0);  // 10 bytes/cycle
+  EXPECT_EQ(r.acquire(0, 100), 10u);
+  EXPECT_EQ(r.total_bytes(), 100u);
+}
+
+TEST(Bandwidth, BackToBackTransfersQueue) {
+  BandwidthRegulator r(10.0);
+  EXPECT_EQ(r.acquire(0, 100), 10u);
+  EXPECT_EQ(r.acquire(0, 100), 20u);  // queued behind the first
+  EXPECT_EQ(r.acquire(50, 100), 60u); // channel idle again at 20
+}
+
+TEST(Bandwidth, FractionalOccupancyAccumulates) {
+  BandwidthRegulator r(10.0);
+  // 4 transfers of 5 bytes = 2 cycles total, not 4.
+  Cycle last = 0;
+  for (int i = 0; i < 4; ++i) last = r.acquire(0, 5);
+  EXPECT_EQ(last, 2u);
+}
+
+TEST(Bandwidth, LaterRequestStartsAtNow) {
+  BandwidthRegulator r(2.0);
+  EXPECT_EQ(r.acquire(100, 10), 105u);
+  EXPECT_EQ(r.free_at(), 105u);
+}
+
+TEST(Bandwidth, BusyCyclesTrackUtilization) {
+  BandwidthRegulator r(10.0);
+  r.acquire(0, 100);   // 10 busy cycles
+  r.acquire(100, 50);  // 5 busy cycles
+  EXPECT_DOUBLE_EQ(r.busy_cycles(), 15.0);
+}
+
+TEST(Bandwidth, ZeroByteTransferIsFree) {
+  BandwidthRegulator r(10.0);
+  EXPECT_EQ(r.acquire(7, 0), 7u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,70 @@
+#include "xfer/pcie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uvmsim {
+namespace {
+
+SimConfig test_cfg() {
+  SimConfig cfg;
+  cfg.gpu.core_clock_ghz = 1.0;       // 1 byte/ns per GB/s: easy arithmetic
+  cfg.xfer.pcie_bandwidth_gbps = 16.0;  // 16 bytes/cycle
+  cfg.xfer.pcie_latency = 100;
+  return cfg;
+}
+
+TEST(Pcie, BulkTransferIncludesLatency) {
+  PcieFabric p(test_cfg());
+  // 64 KB at 16 B/cycle = 4096 cycles + 100 latency.
+  EXPECT_EQ(p.transfer(PcieDir::kHostToDevice, 0, 0, kBasicBlockSize), 4196u);
+}
+
+TEST(Pcie, DirectionsAreIndependent) {
+  PcieFabric p(test_cfg());
+  const Cycle h2d = p.transfer(PcieDir::kHostToDevice, 0, 0, kBasicBlockSize);
+  const Cycle d2h = p.transfer(PcieDir::kDeviceToHost, 0, 0, kBasicBlockSize);
+  EXPECT_EQ(h2d, d2h);  // no cross-direction contention
+  EXPECT_EQ(p.h2d().total_bytes(), kBasicBlockSize);
+  EXPECT_EQ(p.d2h().total_bytes(), kBasicBlockSize);
+}
+
+TEST(Pcie, SameDirectionSerializes) {
+  PcieFabric p(test_cfg());
+  const Cycle first = p.transfer(PcieDir::kHostToDevice, 0, 0, kBasicBlockSize);
+  const Cycle second = p.transfer(PcieDir::kHostToDevice, 0, 0, kBasicBlockSize);
+  EXPECT_EQ(second, first + 4096);
+}
+
+TEST(Pcie, NotBeforeGatesTheStart) {
+  PcieFabric p(test_cfg());
+  // Channel free, but the transfer may not start before cycle 1000
+  // (e.g. waiting on an eviction writeback).
+  EXPECT_EQ(p.transfer(PcieDir::kHostToDevice, 0, 1000, 1600), 1200u);
+}
+
+TEST(Pcie, RemoteTransactionSharesChannelOccupancy) {
+  PcieFabric p(test_cfg());
+  p.transfer(PcieDir::kHostToDevice, 0, 0, kBasicBlockSize);  // busy until 4096
+  // A zero-copy read queued behind the bulk transfer.
+  const Cycle drained = p.remote_transaction(PcieDir::kHostToDevice, 0, 128);
+  EXPECT_EQ(drained, 4104u);  // 4096 + 128/16
+}
+
+TEST(Pcie, RemoteTransactionHasNoBuiltInLatency) {
+  PcieFabric p(test_cfg());
+  EXPECT_EQ(p.remote_transaction(PcieDir::kDeviceToHost, 0, 160), 10u);
+}
+
+TEST(Pcie, TableOneBandwidth) {
+  // With Table I values: 15.75 GB/s at 1.481 GHz = ~10.6 bytes/cycle, so a
+  // 64 KB block takes ~6160 cycles on the wire.
+  PcieFabric p{SimConfig{}};
+  const Cycle done = p.transfer(PcieDir::kHostToDevice, 0, 0, kBasicBlockSize);
+  const double wire = kBasicBlockSize / (15.75 / 1.481);
+  EXPECT_NEAR(static_cast<double>(done), wire + 100.0, 2.0);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,267 @@
+// uvmsim CLI: run any workload x policy x oversubscription combination from
+// the command line and print the result statistics.
+//
+//   uvmsim --workload sssp --policy adaptive --oversub 1.25 --ts 8 -p 8
+//   uvmsim --workload fdtd --policy baseline --scale 0.5 --eviction lru
+//   uvmsim --workload bfs --record bfs.trc        # capture the access trace
+//   uvmsim --replay bfs.trc --policy adaptive     # re-drive it elsewhere
+//   uvmsim --workload ra --oversub 1.25 --timeline ra_timeline.csv
+//   uvmsim --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include <uvmsim/uvmsim.hpp>
+
+namespace {
+
+using namespace uvmsim;
+
+void usage() {
+  std::printf(
+      "usage: uvmsim [options]\n"
+      "  --workload NAME    backprop|fdtd|hotspot|srad|bfs|nw|ra|sssp (default sssp)\n"
+      "  --policy NAME      baseline|always|oversub|adaptive (default baseline)\n"
+      "  --eviction NAME    lru|lfu|tree (default: lru for baseline, lfu otherwise)\n"
+      "  --prefetcher NAME  tree|sequential|random|none (default tree)\n"
+      "  --oversub F        working-set/capacity factor; 0 = fits (default 0)\n"
+      "  --capacity-mb N    explicit device capacity (ignored when --oversub > 0)\n"
+      "  --scale F          workload footprint scale (default 0.25)\n"
+      "  --ts N             static access counter threshold (default 8)\n"
+      "  -p / --penalty N   multiplicative migration penalty (default 8)\n"
+      "  --seed N           workload RNG seed\n"
+      "  --iterations N     override workload iteration count\n"
+      "  --graph NAME       bfs/sssp input structure: powerlaw|road\n"
+      "  --config           print the resolved configuration (Table I style)\n"
+      "  --record FILE      capture the access trace to FILE\n"
+      "  --replay FILE      replay a captured trace instead of a workload\n"
+      "  --timeline FILE    write periodic occupancy/traffic samples to FILE\n"
+      "  --mitigation       enable nvidia-uvm-style thrash throttling\n"
+      "  --set K=V          set any SimConfig key (repeatable; see --keys)\n"
+      "  --config-file F    load key=value settings from a file\n"
+      "  --keys             list every settable configuration key\n"
+      "  --json             print the result as JSON instead of text\n"
+      "  --classify         print the per-allocation hot/cold classification\n"
+      "  --l2               enable the L2 cache model\n"
+      "  --list             list available workloads\n");
+}
+
+std::optional<PolicyKind> parse_policy(const std::string& s) {
+  if (s == "baseline" || s == "disabled" || s == "first-touch") return PolicyKind::kFirstTouch;
+  if (s == "always") return PolicyKind::kStaticAlways;
+  if (s == "oversub") return PolicyKind::kStaticOversub;
+  if (s == "adaptive") return PolicyKind::kAdaptive;
+  return std::nullopt;
+}
+
+std::optional<PrefetcherKind> parse_prefetcher(const std::string& s) {
+  if (s == "tree") return PrefetcherKind::kTree;
+  if (s == "sequential") return PrefetcherKind::kSequential;
+  if (s == "random") return PrefetcherKind::kRandom;
+  if (s == "none") return PrefetcherKind::kNone;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "sssp";
+  SimConfig cfg;
+  WorkloadParams params;
+  params.scale = 0.25;
+  double oversub = 0.0;
+  bool eviction_set = false;
+  bool show_config = false;
+  std::string record_path, replay_path, timeline_path;
+  bool json_output = false;
+  bool classify = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list") {
+      for (const auto& n : workload_names()) std::printf("%s\n", n.c_str());
+      for (const auto& n : extra_workload_names()) std::printf("%s (extra)\n", n.c_str());
+      return 0;
+    } else if (arg == "--workload" || arg == "-w") {
+      workload = next();
+    } else if (arg == "--policy") {
+      const auto p = parse_policy(next());
+      if (!p) {
+        std::fprintf(stderr, "unknown policy\n");
+        return 2;
+      }
+      cfg.policy.policy = *p;
+    } else if (arg == "--eviction") {
+      const std::string v = next();
+      if (v != "lru" && v != "lfu" && v != "tree") {
+        std::fprintf(stderr, "unknown eviction policy\n");
+        return 2;
+      }
+      cfg.mem.eviction = v == "lru"   ? EvictionKind::kLru
+                         : v == "lfu" ? EvictionKind::kLfu
+                                      : EvictionKind::kTree;
+      eviction_set = true;
+    } else if (arg == "--prefetcher") {
+      const auto p = parse_prefetcher(next());
+      if (!p) {
+        std::fprintf(stderr, "unknown prefetcher\n");
+        return 2;
+      }
+      cfg.mem.prefetcher = *p;
+    } else if (arg == "--oversub") {
+      oversub = std::atof(next());
+    } else if (arg == "--capacity-mb") {
+      cfg.mem.device_capacity_bytes = static_cast<std::uint64_t>(std::atoll(next())) << 20;
+    } else if (arg == "--scale") {
+      params.scale = std::atof(next());
+    } else if (arg == "--ts") {
+      cfg.policy.static_threshold = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "-p" || arg == "--penalty") {
+      cfg.policy.migration_penalty = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      params.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--iterations") {
+      params.iterations = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--graph") {
+      params.graph = next();
+    } else if (arg == "--config") {
+      show_config = true;
+    } else if (arg == "--record") {
+      record_path = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--timeline") {
+      timeline_path = next();
+    } else if (arg == "--mitigation") {
+      cfg.mitigation.enabled = true;
+    } else if (arg == "--l2") {
+      cfg.gpu.l2.enabled = true;
+    } else if (arg == "--set") {
+      try {
+        apply_config_setting(cfg, next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--config-file") {
+      std::ifstream f(next());
+      if (!f) {
+        std::fprintf(stderr, "cannot open config file\n");
+        return 2;
+      }
+      try {
+        load_config_stream(cfg, f);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json_output = true;
+    } else if (arg == "--classify") {
+      classify = true;
+    } else if (arg == "--keys") {
+      for (const auto& k : config_keys()) std::printf("%s\n", k.c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  // Paper convention: Baseline runs stock LRU; counter-based schemes LFU.
+  if (!eviction_set && cfg.policy.policy != PolicyKind::kFirstTouch) {
+    cfg.mem.eviction = EvictionKind::kLfu;
+  }
+
+  if (show_config) std::printf("%s\n", describe(cfg).c_str());
+
+  if (!record_path.empty() && !replay_path.empty()) {
+    std::fprintf(stderr, "--record and --replay are mutually exclusive\n");
+    return 2;
+  }
+
+  try {
+    // Resolve the workload: named generator or trace replay.
+    std::unique_ptr<Workload> wl;
+    if (!replay_path.empty()) {
+      std::ifstream in(replay_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open trace %s\n", replay_path.c_str());
+        return 1;
+      }
+      wl = std::make_unique<TraceWorkload>(RecordedTrace::load(in));
+      workload = "replay:" + replay_path;
+    } else {
+      wl = make_workload(workload, params);
+    }
+
+    cfg.mem.oversubscription = oversub;
+    TraceRecorder recorder;
+    Timeline timeline;
+    if (!record_path.empty()) {
+      // The recorder needs the allocation layout; build a sizing copy.
+      AddressSpace sizing;
+      make_workload(workload, params)->build(sizing);
+      recorder.capture_layout(sizing);
+      cfg.collect_traces = true;
+    }
+
+    Simulator sim(cfg);
+    if (!record_path.empty()) sim.set_trace_sink(&recorder);
+    if (!timeline_path.empty()) sim.set_timeline(&timeline);
+    const RunResult r = sim.run(*wl);
+
+    if (!record_path.empty()) {
+      std::ofstream out(record_path, std::ios::binary);
+      recorder.trace().save(out);
+      std::printf("trace:      %llu records -> %s\n",
+                  static_cast<unsigned long long>(recorder.trace().total_records()),
+                  record_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      std::ofstream out(timeline_path);
+      timeline.write_csv(out);
+      std::printf("timeline:   %zu samples -> %s\n", timeline.samples().size(),
+                  timeline_path.c_str());
+    }
+    if (json_output) {
+      std::ostringstream os;
+      write_run_json(os, workload, cfg, oversub, r);
+      std::printf("%s", os.str().c_str());
+      return 0;
+    }
+    std::printf("workload:   %s (scale %.2f, footprint %.1f MB, capacity %.1f MB)\n",
+                workload.c_str(), params.scale,
+                static_cast<double>(r.footprint_bytes) / (1 << 20),
+                static_cast<double>(r.capacity_bytes) / (1 << 20));
+    std::printf("policy:     %s\n", to_string(cfg.policy.policy).c_str());
+    std::printf("kernel:     %.3f ms (%llu cycles over %zu launches)\n",
+                r.kernel_ms(cfg.gpu.core_clock_ghz),
+                static_cast<unsigned long long>(r.stats.kernel_cycles), r.kernels.size());
+    std::printf("%s", r.stats.report().c_str());
+    if (classify) {
+      std::printf("\nper-allocation classification (driver access counters):\n%s",
+                  format_profiles(r.allocations).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

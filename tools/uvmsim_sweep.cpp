@@ -1,0 +1,95 @@
+// uvmsim-sweep: regenerate the paper's full evaluation grid as tidy CSV for
+// downstream plotting (each figure of the paper is a slice of this data).
+//
+//   uvmsim-sweep --out results.csv [--scale 1.0] [--quick]
+//
+// Grid: 8 workloads x {Baseline, Always, Oversub, Adaptive}
+//       x oversubscription {fits, 1.25, 1.50}
+//       plus the Fig 4 ts sweep and Fig 8 penalty sweep at 125 %.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include <uvmsim/uvmsim.hpp>
+
+#include "report/run_csv.hpp"
+
+namespace {
+
+using namespace uvmsim;
+
+SimConfig scheme_cfg(PolicyKind policy) {
+  SimConfig cfg;
+  cfg.policy.policy = policy;
+  cfg.mem.eviction =
+      policy == PolicyKind::kFirstTouch ? EvictionKind::kLru : EvictionKind::kLfu;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "uvmsim_sweep.csv";
+  double scale = 1.0;
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: uvmsim-sweep [--out FILE] [--scale F] [--quick]\n");
+      return 2;
+    }
+  }
+  if (quick) scale = std::min(scale, 0.2);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  write_run_csv_header(out);
+
+  WorkloadParams params;
+  params.scale = scale;
+  std::size_t runs = 0;
+  auto emit = [&](const std::string& name, const SimConfig& cfg, double oversub) {
+    const RunResult r = run_workload(name, cfg, oversub, params);
+    append_run_csv(out, name, cfg, oversub, r);
+    ++runs;
+    std::printf("\r%zu runs...", runs);
+    std::fflush(stdout);
+  };
+
+  for (const auto& name : workload_names()) {
+    // Figs 1, 5, 6, 7: scheme x oversubscription grid.
+    for (const PolicyKind policy : {PolicyKind::kFirstTouch, PolicyKind::kStaticAlways,
+                                    PolicyKind::kStaticOversub, PolicyKind::kAdaptive}) {
+      for (const double oversub : {0.0, 1.25, 1.5}) {
+        emit(name, scheme_cfg(policy), oversub);
+      }
+    }
+    // Fig 4: ts sweep under Always at 125 %.
+    for (const std::uint32_t ts : {16u, 32u}) {
+      SimConfig cfg = scheme_cfg(PolicyKind::kStaticAlways);
+      cfg.policy.static_threshold = ts;
+      emit(name, cfg, 1.25);
+    }
+    // Fig 8: penalty sweep under Adaptive at 125 %.
+    for (const std::uint64_t p : {2ull, 4ull, 1048576ull}) {
+      SimConfig cfg = scheme_cfg(PolicyKind::kAdaptive);
+      cfg.policy.migration_penalty = p;
+      emit(name, cfg, 1.25);
+    }
+  }
+
+  std::printf("\nwrote %zu runs to %s\n", runs, out_path.c_str());
+  return 0;
+}
