@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_graph_inputs.dir/ext_graph_inputs.cpp.o"
+  "CMakeFiles/ext_graph_inputs.dir/ext_graph_inputs.cpp.o.d"
+  "ext_graph_inputs"
+  "ext_graph_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_graph_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multigpu.dir/ext_multigpu.cpp.o"
+  "CMakeFiles/ext_multigpu.dir/ext_multigpu.cpp.o.d"
+  "ext_multigpu"
+  "ext_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_oracle_hints.dir/ext_oracle_hints.cpp.o"
+  "CMakeFiles/ext_oracle_hints.dir/ext_oracle_hints.cpp.o.d"
+  "ext_oracle_hints"
+  "ext_oracle_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_oracle_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

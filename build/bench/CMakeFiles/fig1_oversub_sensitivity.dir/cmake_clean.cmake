@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_oversub_sensitivity.dir/fig1_oversub_sensitivity.cpp.o"
+  "CMakeFiles/fig1_oversub_sensitivity.dir/fig1_oversub_sensitivity.cpp.o.d"
+  "fig1_oversub_sensitivity"
+  "fig1_oversub_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_oversub_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_static_threshold.dir/fig4_static_threshold.cpp.o"
+  "CMakeFiles/fig4_static_threshold.dir/fig4_static_threshold.cpp.o.d"
+  "fig4_static_threshold"
+  "fig4_static_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_static_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

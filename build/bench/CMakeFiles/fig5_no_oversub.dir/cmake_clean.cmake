@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_no_oversub.dir/fig5_no_oversub.cpp.o"
+  "CMakeFiles/fig5_no_oversub.dir/fig5_no_oversub.cpp.o.d"
+  "fig5_no_oversub"
+  "fig5_no_oversub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_no_oversub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_oversub_runtime.dir/fig6_oversub_runtime.cpp.o"
+  "CMakeFiles/fig6_oversub_runtime.dir/fig6_oversub_runtime.cpp.o.d"
+  "fig6_oversub_runtime"
+  "fig6_oversub_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_oversub_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_thrashing.dir/fig7_thrashing.cpp.o"
+  "CMakeFiles/fig7_thrashing.dir/fig7_thrashing.cpp.o.d"
+  "fig7_thrashing"
+  "fig7_thrashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

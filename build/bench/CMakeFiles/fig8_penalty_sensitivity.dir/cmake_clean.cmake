@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_penalty_sensitivity.dir/fig8_penalty_sensitivity.cpp.o"
+  "CMakeFiles/fig8_penalty_sensitivity.dir/fig8_penalty_sensitivity.cpp.o.d"
+  "fig8_penalty_sensitivity"
+  "fig8_penalty_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_penalty_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

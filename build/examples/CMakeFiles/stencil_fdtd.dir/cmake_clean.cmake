@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_fdtd.dir/stencil_fdtd.cpp.o"
+  "CMakeFiles/stencil_fdtd.dir/stencil_fdtd.cpp.o.d"
+  "stencil_fdtd"
+  "stencil_fdtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_fdtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

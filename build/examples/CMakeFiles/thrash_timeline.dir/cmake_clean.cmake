@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrash_timeline.dir/thrash_timeline.cpp.o"
+  "CMakeFiles/thrash_timeline.dir/thrash_timeline.cpp.o.d"
+  "thrash_timeline"
+  "thrash_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrash_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

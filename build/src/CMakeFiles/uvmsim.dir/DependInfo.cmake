@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation_profile.cpp" "src/CMakeFiles/uvmsim.dir/core/allocation_profile.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/allocation_profile.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/uvmsim.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/uvm_driver.cpp" "src/CMakeFiles/uvmsim.dir/core/uvm_driver.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/uvm_driver.cpp.o.d"
+  "/root/repo/src/gpu/gpu_model.cpp" "src/CMakeFiles/uvmsim.dir/gpu/gpu_model.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/gpu_model.cpp.o.d"
+  "/root/repo/src/gpu/l2_cache.cpp" "src/CMakeFiles/uvmsim.dir/gpu/l2_cache.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/l2_cache.cpp.o.d"
+  "/root/repo/src/mem/access_counters.cpp" "src/CMakeFiles/uvmsim.dir/mem/access_counters.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/access_counters.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/uvmsim.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/block_table.cpp" "src/CMakeFiles/uvmsim.dir/mem/block_table.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/block_table.cpp.o.d"
+  "/root/repo/src/mem/eviction.cpp" "src/CMakeFiles/uvmsim.dir/mem/eviction.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/eviction.cpp.o.d"
+  "/root/repo/src/mitigation/thrash_throttle.cpp" "src/CMakeFiles/uvmsim.dir/mitigation/thrash_throttle.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mitigation/thrash_throttle.cpp.o.d"
+  "/root/repo/src/multigpu/multi_gpu.cpp" "src/CMakeFiles/uvmsim.dir/multigpu/multi_gpu.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/multigpu/multi_gpu.cpp.o.d"
+  "/root/repo/src/policy/migration_policy.cpp" "src/CMakeFiles/uvmsim.dir/policy/migration_policy.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/policy/migration_policy.cpp.o.d"
+  "/root/repo/src/prefetch/prefetcher.cpp" "src/CMakeFiles/uvmsim.dir/prefetch/prefetcher.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/prefetch/prefetcher.cpp.o.d"
+  "/root/repo/src/report/run_csv.cpp" "src/CMakeFiles/uvmsim.dir/report/run_csv.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/report/run_csv.cpp.o.d"
+  "/root/repo/src/report/run_json.cpp" "src/CMakeFiles/uvmsim.dir/report/run_json.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/report/run_json.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/uvmsim.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/report/table.cpp.o.d"
+  "/root/repo/src/report/variance.cpp" "src/CMakeFiles/uvmsim.dir/report/variance.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/report/variance.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/uvmsim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/config_parse.cpp" "src/CMakeFiles/uvmsim.dir/sim/config_parse.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/config_parse.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/uvmsim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/uvmsim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/CMakeFiles/uvmsim.dir/trace/replay.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/trace/replay.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/CMakeFiles/uvmsim.dir/trace/timeline.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/trace/timeline.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/uvmsim.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/workloads/common.cpp" "src/CMakeFiles/uvmsim.dir/workloads/common.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/common.cpp.o.d"
+  "/root/repo/src/workloads/extra.cpp" "src/CMakeFiles/uvmsim.dir/workloads/extra.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/extra.cpp.o.d"
+  "/root/repo/src/workloads/graph_gen.cpp" "src/CMakeFiles/uvmsim.dir/workloads/graph_gen.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/graph_gen.cpp.o.d"
+  "/root/repo/src/workloads/irregular.cpp" "src/CMakeFiles/uvmsim.dir/workloads/irregular.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/irregular.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/uvmsim.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/regular.cpp" "src/CMakeFiles/uvmsim.dir/workloads/regular.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/regular.cpp.o.d"
+  "/root/repo/src/xfer/pcie.cpp" "src/CMakeFiles/uvmsim.dir/xfer/pcie.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/xfer/pcie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_advice_and_preload.cpp" "tests/CMakeFiles/test_core.dir/core/test_advice_and_preload.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_advice_and_preload.cpp.o.d"
+  "/root/repo/tests/core/test_allocation_profile.cpp" "tests/CMakeFiles/test_core.dir/core/test_allocation_profile.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_allocation_profile.cpp.o.d"
+  "/root/repo/tests/core/test_driver.cpp" "tests/CMakeFiles/test_core.dir/core/test_driver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_driver.cpp.o.d"
+  "/root/repo/tests/core/test_driver_edge.cpp" "tests/CMakeFiles/test_core.dir/core/test_driver_edge.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_driver_edge.cpp.o.d"
+  "/root/repo/tests/core/test_host_memory.cpp" "tests/CMakeFiles/test_core.dir/core/test_host_memory.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_host_memory.cpp.o.d"
+  "/root/repo/tests/core/test_launch_overhead.cpp" "tests/CMakeFiles/test_core.dir/core/test_launch_overhead.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_launch_overhead.cpp.o.d"
+  "/root/repo/tests/core/test_simulator.cpp" "tests/CMakeFiles/test_core.dir/core/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uvmsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

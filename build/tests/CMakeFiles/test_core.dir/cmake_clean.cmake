@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_advice_and_preload.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_advice_and_preload.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_allocation_profile.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_allocation_profile.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_driver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_driver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_driver_edge.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_driver_edge.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_host_memory.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_host_memory.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_launch_overhead.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_launch_overhead.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_simulator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_simulator.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

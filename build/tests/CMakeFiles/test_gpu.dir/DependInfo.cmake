@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/test_gpu_model.cpp" "tests/CMakeFiles/test_gpu.dir/gpu/test_gpu_model.cpp.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/test_gpu_model.cpp.o.d"
+  "/root/repo/tests/gpu/test_gpu_scheduling.cpp" "tests/CMakeFiles/test_gpu.dir/gpu/test_gpu_scheduling.cpp.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/test_gpu_scheduling.cpp.o.d"
+  "/root/repo/tests/gpu/test_l2_cache.cpp" "tests/CMakeFiles/test_gpu.dir/gpu/test_l2_cache.cpp.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/test_l2_cache.cpp.o.d"
+  "/root/repo/tests/gpu/test_tlb.cpp" "tests/CMakeFiles/test_gpu.dir/gpu/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/test_tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uvmsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

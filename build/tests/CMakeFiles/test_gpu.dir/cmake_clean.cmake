@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_model.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_model.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_scheduling.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_scheduling.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_l2_cache.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_l2_cache.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_tlb.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_tlb.cpp.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+  "test_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

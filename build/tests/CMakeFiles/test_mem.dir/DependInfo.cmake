@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_access_counters.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_access_counters.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_access_counters.cpp.o.d"
+  "/root/repo/tests/mem/test_address_space.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_address_space.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_address_space.cpp.o.d"
+  "/root/repo/tests/mem/test_block_table.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_block_table.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_block_table.cpp.o.d"
+  "/root/repo/tests/mem/test_device_memory.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_device_memory.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_device_memory.cpp.o.d"
+  "/root/repo/tests/mem/test_eviction.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_eviction.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_eviction.cpp.o.d"
+  "/root/repo/tests/mem/test_eviction_protection.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_eviction_protection.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_eviction_protection.cpp.o.d"
+  "/root/repo/tests/mem/test_tree_eviction.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_tree_eviction.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_tree_eviction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uvmsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_access_counters.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_access_counters.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_address_space.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_address_space.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_block_table.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_block_table.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_device_memory.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_device_memory.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_eviction.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_eviction.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_eviction_protection.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_eviction_protection.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tree_eviction.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_tree_eviction.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

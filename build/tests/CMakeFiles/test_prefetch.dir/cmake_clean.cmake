@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch.dir/prefetch/test_other_prefetchers.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_other_prefetchers.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_tree_prefetcher.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_tree_prefetcher.cpp.o.d"
+  "test_prefetch"
+  "test_prefetch.pdb"
+  "test_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/report/test_run_csv.cpp" "tests/CMakeFiles/test_report.dir/report/test_run_csv.cpp.o" "gcc" "tests/CMakeFiles/test_report.dir/report/test_run_csv.cpp.o.d"
+  "/root/repo/tests/report/test_run_json.cpp" "tests/CMakeFiles/test_report.dir/report/test_run_json.cpp.o" "gcc" "tests/CMakeFiles/test_report.dir/report/test_run_json.cpp.o.d"
+  "/root/repo/tests/report/test_table.cpp" "tests/CMakeFiles/test_report.dir/report/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_report.dir/report/test_table.cpp.o.d"
+  "/root/repo/tests/report/test_variance.cpp" "tests/CMakeFiles/test_report.dir/report/test_variance.cpp.o" "gcc" "tests/CMakeFiles/test_report.dir/report/test_variance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uvmsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

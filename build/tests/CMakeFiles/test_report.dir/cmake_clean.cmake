@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report.dir/report/test_run_csv.cpp.o"
+  "CMakeFiles/test_report.dir/report/test_run_csv.cpp.o.d"
+  "CMakeFiles/test_report.dir/report/test_run_json.cpp.o"
+  "CMakeFiles/test_report.dir/report/test_run_json.cpp.o.d"
+  "CMakeFiles/test_report.dir/report/test_table.cpp.o"
+  "CMakeFiles/test_report.dir/report/test_table.cpp.o.d"
+  "CMakeFiles/test_report.dir/report/test_variance.cpp.o"
+  "CMakeFiles/test_report.dir/report/test_variance.cpp.o.d"
+  "test_report"
+  "test_report.pdb"
+  "test_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_sweep.dir/uvmsim_sweep.cpp.o"
+  "CMakeFiles/uvmsim_sweep.dir/uvmsim_sweep.cpp.o.d"
+  "uvmsim-sweep"
+  "uvmsim-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
