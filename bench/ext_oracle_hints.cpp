@@ -44,15 +44,16 @@ int main() {
     oracle_cfg.mem.oversubscription = 1.25;
     auto wl = make_workload(name, params);
     Simulator oracle_sim(oracle_cfg);
-    oracle_sim.set_advice_hook([&](AddressSpace& space) {
+    RunOptions oracle_opts;
+    oracle_opts.advice_hook = [&](AddressSpace& space) {
       for (const auto& alloc : cold) {
         if (!space.advise(alloc, MemAdvice::kAccessedBy)) {
           std::fprintf(stderr, "no allocation named %s in %s\n", alloc.c_str(),
                        name.c_str());
         }
       }
-    });
-    const RunResult oracle = oracle_sim.run(*wl);
+    };
+    const RunResult oracle = oracle_sim.run(*wl, oracle_opts);
 
     const RunResult adaptive = run(name, make_cfg(PolicyKind::kAdaptive), 1.25);
 

@@ -24,8 +24,9 @@ void characterize(const std::string& name) {
 
   auto wl = make_workload(name, params);
   Simulator sim(cfg);
-  sim.set_trace_sink(&hist);
-  (void)sim.run(*wl);
+  RunOptions opts;
+  opts.trace_sink = &hist;
+  (void)sim.run(*wl, opts);
 
   std::printf("\n%s: per-allocation page access distribution\n", name.c_str());
   std::printf("%-16s %9s %9s %9s %9s %12s %10s %8s\n", "allocation", "pages", "touched",

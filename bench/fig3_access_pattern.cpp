@@ -33,8 +33,9 @@ void characterize(const std::string& name) {
   TimeSeriesSampler ts(/*stride=*/32);
   auto wl = make_workload(name, params);
   Simulator sim(cfg);
-  sim.set_trace_sink(&ts);
-  (void)sim.run(*wl);
+  RunOptions opts;
+  opts.trace_sink = &ts;
+  (void)sim.run(*wl, opts);
 
   std::map<std::uint32_t, LaunchSummary> launches;
   for (const auto& s : ts.samples()) {

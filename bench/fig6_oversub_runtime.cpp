@@ -12,12 +12,21 @@ int main() {
                "normalized to Baseline (first-touch + LRU)");
   print_row_header({"Baseline", "Always", "Oversub", "Adaptive"});
 
+  // Describe the whole 8x4 grid upfront and fan it out on the batch engine.
+  constexpr PolicyKind kSchemes[] = {PolicyKind::kFirstTouch, PolicyKind::kStaticAlways,
+                                     PolicyKind::kStaticOversub, PolicyKind::kAdaptive};
+  std::vector<RunRequest> grid;
+  for (const auto& name : workload_names())
+    for (const PolicyKind policy : kSchemes) grid.push_back(make_request(name, make_cfg(policy), 1.25));
+  const std::vector<RunResult> results = run_grid(grid);
+
   Table csv({"workload", "baseline", "always", "oversub", "adaptive"});
+  std::size_t i = 0;
   for (const auto& name : workload_names()) {
-    const RunResult base = run(name, make_cfg(PolicyKind::kFirstTouch), 1.25);
-    const RunResult always = run(name, make_cfg(PolicyKind::kStaticAlways), 1.25);
-    const RunResult oversub = run(name, make_cfg(PolicyKind::kStaticOversub), 1.25);
-    const RunResult adaptive = run(name, make_cfg(PolicyKind::kAdaptive), 1.25);
+    const RunResult& base = results[i++];
+    const RunResult& always = results[i++];
+    const RunResult& oversub = results[i++];
+    const RunResult& adaptive = results[i++];
     const auto b = static_cast<double>(base.stats.kernel_cycles);
     const double va = static_cast<double>(always.stats.kernel_cycles) / b;
     const double vo = static_cast<double>(oversub.stats.kernel_cycles) / b;

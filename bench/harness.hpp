@@ -43,11 +43,38 @@ inline SimConfig make_cfg(PolicyKind policy, std::uint32_t ts = 8, std::uint64_t
   return cfg;
 }
 
+/// Describe one grid cell as a RunRequest (the batch engine's unit of work).
+inline RunRequest make_request(const std::string& workload, const SimConfig& cfg,
+                               double oversub, double scale = kScale) {
+  RunRequest req;
+  req.workload = workload;
+  req.params.scale = scale;
+  req.config = cfg;
+  req.oversub = oversub;
+  return req;
+}
+
 inline RunResult run(const std::string& workload, const SimConfig& cfg, double oversub,
                      double scale = kScale) {
-  WorkloadParams params;
-  params.scale = scale;
-  return run_workload(workload, cfg, oversub, params);
+  return run_request(make_request(workload, cfg, oversub, scale));
+}
+
+/// Execute a grid of requests on the parallel batch engine (jobs = 0 picks
+/// hardware concurrency) and return the results in request order. The figure
+/// benches assume every run succeeds, so any failure raises.
+inline std::vector<RunResult> run_grid(const std::vector<RunRequest>& requests,
+                                       unsigned jobs = 0) {
+  BatchOptions opt;
+  opt.jobs = jobs;
+  BatchResult batch = run_batch(requests, opt);
+  std::vector<RunResult> results;
+  results.reserve(batch.entries.size());
+  for (BatchEntry& e : batch.entries) {
+    if (!e.ok())
+      throw std::runtime_error("bench run failed (" + e.request.workload + "): " + e.error);
+    results.push_back(std::move(e.result));
+  }
+  return results;
 }
 
 /// Pretty-printing helpers -------------------------------------------------

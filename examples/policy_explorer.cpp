@@ -1,10 +1,13 @@
 // Policy explorer: sweep the two driver module parameters (ts, p) for one
 // workload and print a runtime heat map — the tuning view a driver engineer
-// would use before picking defaults.
+// would use before picking defaults. The whole ts x p grid (plus the
+// baseline reference) is described upfront as RunRequests and fanned out on
+// the parallel batch engine.
 //
-// Usage: policy_explorer [workload] [oversub]
+// Usage: policy_explorer [workload] [oversub] [jobs]
 //   workload: backprop|fdtd|hotspot|srad|bfs|nw|ra|sssp (default: sssp)
 //   oversub:  working-set / device-capacity factor (default: 1.25)
+//   jobs:     worker threads (default: hardware concurrency)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,19 +20,53 @@ int main(int argc, char** argv) {
 
   const std::string workload = argc > 1 ? argv[1] : "sssp";
   const double oversub = argc > 2 ? std::atof(argv[2]) : 1.25;
+  const unsigned jobs = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
 
   WorkloadParams params;
   params.scale = 0.25;
 
-  // Baseline reference.
-  SimConfig base_cfg;
-  const RunResult base = run_workload(workload, base_cfg, oversub, params);
-  const auto base_cycles = static_cast<double>(base.stats.kernel_cycles);
-  std::printf("%s at %.0f%% oversubscription — baseline %.2f ms\n", workload.c_str(),
-              oversub > 0 ? oversub * 100 : 100.0, base.kernel_ms(base_cfg.gpu.core_clock_ghz));
-
   const std::vector<std::uint32_t> ts_values{4, 8, 16, 32};
   const std::vector<std::uint64_t> p_values{1, 2, 4, 8, 16};
+
+  // Request 0 is the baseline; the rest are the ts x p grid in row order.
+  std::vector<RunRequest> grid;
+  {
+    RunRequest base;
+    base.workload = workload;
+    base.params = params;
+    base.oversub = oversub;
+    grid.push_back(base);
+  }
+  for (const auto ts : ts_values) {
+    for (const auto p : p_values) {
+      RunRequest req;
+      req.workload = workload;
+      req.params = params;
+      req.oversub = oversub;
+      req.config.policy.policy = PolicyKind::kAdaptive;
+      req.config.policy.static_threshold = ts;
+      req.config.policy.migration_penalty = p;
+      req.config.mem.eviction = EvictionKind::kLfu;
+      grid.push_back(std::move(req));
+    }
+  }
+
+  BatchOptions opts;
+  opts.jobs = jobs;
+  const BatchResult batch = run_batch(grid, opts);
+  for (const BatchEntry& e : batch.entries) {
+    if (!e.ok()) {
+      std::fprintf(stderr, "error (%s): %s\n", e.request.workload.c_str(), e.error.c_str());
+      return 1;
+    }
+  }
+
+  const RunResult& base = batch.entries[0].result;
+  const auto base_cycles = static_cast<double>(base.stats.kernel_cycles);
+  std::printf("%s at %.0f%% oversubscription — baseline %.2f ms (%zu runs in %.1f s, %u jobs)\n",
+              workload.c_str(), oversub > 0 ? oversub * 100 : 100.0,
+              base.kernel_ms(grid[0].config.gpu.core_clock_ghz), batch.entries.size(),
+              batch.wall_ms / 1000.0, batch.jobs);
 
   std::printf("\nAdaptive runtime normalized to baseline (rows ts, cols p):\n");
   std::printf("%8s", "ts\\p");
@@ -39,15 +76,11 @@ int main(int argc, char** argv) {
   double best = 1e300;
   std::uint32_t best_ts = 0;
   std::uint64_t best_p = 0;
+  std::size_t i = 1;
   for (const auto ts : ts_values) {
     std::printf("%8u", ts);
     for (const auto p : p_values) {
-      SimConfig cfg;
-      cfg.policy.policy = PolicyKind::kAdaptive;
-      cfg.policy.static_threshold = ts;
-      cfg.policy.migration_penalty = p;
-      cfg.mem.eviction = EvictionKind::kLfu;
-      const RunResult r = run_workload(workload, cfg, oversub, params);
+      const RunResult& r = batch.entries[i++].result;
       const double norm = static_cast<double>(r.stats.kernel_cycles) / base_cycles;
       std::printf(" %9.3f", norm);
       if (norm < best) {

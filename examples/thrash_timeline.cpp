@@ -25,8 +25,10 @@ Timeline run_with_timeline(PolicyKind policy, const char* csv_path) {
   auto wl = make_workload("bfs", params);
   Timeline timeline;
   Simulator sim(cfg);
-  sim.set_timeline(&timeline, 100000);
-  (void)sim.run(*wl);
+  RunOptions opts;
+  opts.timeline = &timeline;
+  opts.timeline_interval = 100000;
+  (void)sim.run(*wl, opts);
 
   std::ofstream out(csv_path);
   timeline.write_csv(out);

@@ -35,12 +35,15 @@
 #include "sim/config_parse.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/runner.hpp"
 #include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/types.hpp"
 #include "trace/replay.hpp"
 #include "trace/timeline.hpp"
 #include "trace/trace.hpp"
 #include "workloads/graph_gen.hpp"
+#include "workloads/input_cache.hpp"
 #include "workloads/workload.hpp"
 #include "xfer/bandwidth.hpp"
 #include "xfer/pcie.hpp"

@@ -6,17 +6,18 @@
 #include "core/uvm_driver.hpp"
 #include "gpu/gpu_model.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/runner.hpp"
 
 namespace uvmsim {
 
 Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
 
-RunResult Simulator::run(Workload& workload) {
+RunResult Simulator::run(Workload& workload, const RunOptions& opts) {
   AddressSpace space;
   workload.build(space);
   if (space.num_allocations() == 0)
     throw std::invalid_argument("Simulator: workload declared no allocations");
-  if (advice_hook_) advice_hook_(space);
+  if (opts.advice_hook) opts.advice_hook(space);
 
   std::uint64_t capacity = cfg_.mem.device_capacity_bytes;
   if (cfg_.mem.oversubscription > 0.0) {
@@ -29,7 +30,8 @@ RunResult Simulator::run(Workload& workload) {
   SimStats stats;
   UvmDriver driver(cfg_, space, capacity, queue, stats);
   GpuModel gpu(cfg_, queue, driver, stats);
-  if (cfg_.collect_traces && trace_ != nullptr) driver.set_trace_sink(trace_);
+  TraceSink* trace = opts.trace_sink;
+  if (cfg_.collect_traces && trace != nullptr) driver.set_trace_sink(trace);
 
   const auto launches = workload.schedule();
   if (launches.empty()) throw std::invalid_argument("Simulator: empty launch schedule");
@@ -42,13 +44,13 @@ RunResult Simulator::run(Workload& workload) {
   // Chain launches: each completion starts the next kernel.
   // Periodic driver-state sampling; stops once the queue has nothing else.
   std::function<void()> sample;
-  if (timeline_ != nullptr) {
-    sample = [&]() {
-      timeline_->add(TimelineSample{queue.now(), driver.device().used_blocks(),
-                                    driver.device().capacity_blocks(), stats.far_faults,
-                                    stats.remote_accesses, stats.pages_thrashed,
-                                    stats.bytes_h2d, stats.bytes_d2h});
-      if (queue.pending() > 0) queue.schedule_in(timeline_interval_, sample);
+  if (opts.timeline != nullptr) {
+    sample = [&, timeline = opts.timeline, interval = opts.timeline_interval]() {
+      timeline->add(TimelineSample{queue.now(), driver.device().used_blocks(),
+                                   driver.device().capacity_blocks(), stats.far_faults,
+                                   stats.remote_accesses, stats.pages_thrashed,
+                                   stats.bytes_h2d, stats.bytes_d2h});
+      if (queue.pending() > 0) queue.schedule_in(interval, sample);
     };
     queue.schedule_in(0, sample);
   }
@@ -58,7 +60,7 @@ RunResult Simulator::run(Workload& workload) {
     if (next >= launches.size()) return;
     const std::size_t i = next++;
     const Kernel& k = *launches[i];
-    if (trace_ != nullptr) trace_->on_kernel_begin(static_cast<std::uint32_t>(i), k.name());
+    if (trace != nullptr) trace->on_kernel_begin(static_cast<std::uint32_t>(i), k.name());
     result.kernels.push_back(KernelStat{k.name(), queue.now(), 0});
     gpu.launch(k, [&, i] {
       result.kernels[i].end = queue.now();
@@ -95,10 +97,12 @@ RunResult Simulator::run(Workload& workload) {
 
 RunResult run_workload(const std::string& workload_name, SimConfig cfg, double oversub,
                        const WorkloadParams& params) {
-  cfg.mem.oversubscription = oversub;
-  auto wl = make_workload(workload_name, params);
-  Simulator sim(cfg);
-  return sim.run(*wl);
+  RunRequest req;
+  req.workload = workload_name;
+  req.params = params;
+  req.config = std::move(cfg);
+  req.oversub = oversub;
+  return run_request(req);
 }
 
 }  // namespace uvmsim

@@ -48,42 +48,55 @@ struct RunResult {
   }
 };
 
+/// Per-run observation options, passed to Simulator::run() by value instead
+/// of being stashed on the Simulator (the old set_* mutators made the sink
+/// lifetimes depend on the Simulator object's — fragile once runs execute on
+/// pool threads). Everything is optional; the default observes nothing.
+struct RunOptions {
+  /// Access tracing (Fig 2/3 harnesses). Must outlive the run() call.
+  TraceSink* trace_sink = nullptr;
+  /// Periodic state sampling every `timeline_interval` cycles. Must outlive
+  /// the run() call; sampling stops when the event queue drains.
+  Timeline* timeline = nullptr;
+  Cycle timeline_interval = 100000;
+  /// Invoked after the workload builds its allocations — the place to attach
+  /// cudaMemAdvise-style hints (oracle experiments).
+  std::function<void(AddressSpace&)> advice_hook;
+};
+
 class Simulator {
  public:
   explicit Simulator(SimConfig cfg);
 
-  /// Optional tracing (Fig 2/3 harnesses). The sink must outlive run().
-  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
-
-  /// Optional periodic state sampling every `interval` cycles. The timeline
-  /// must outlive run(). Sampling stops automatically when the event queue
-  /// drains.
-  void set_timeline(Timeline* timeline, Cycle interval = 100000) noexcept {
-    timeline_ = timeline;
-    timeline_interval_ = interval;
-  }
-
-  /// Optional hook invoked after the workload builds its allocations —
-  /// the place to attach cudaMemAdvise-style hints (oracle experiments).
   using AdviceHook = std::function<void(AddressSpace&)>;
-  void set_advice_hook(AdviceHook hook) { advice_hook_ = std::move(hook); }
+
+  /// Deprecated forwarding shims for the pre-RunOptions mutator API; they
+  /// populate the options used by the zero-argument run() overload.
+  [[deprecated("pass RunOptions to run() instead")]]
+  void set_trace_sink(TraceSink* sink) noexcept { default_opts_.trace_sink = sink; }
+  [[deprecated("pass RunOptions to run() instead")]]
+  void set_timeline(Timeline* timeline, Cycle interval = 100000) noexcept {
+    default_opts_.timeline = timeline;
+    default_opts_.timeline_interval = interval;
+  }
+  [[deprecated("pass RunOptions to run() instead")]]
+  void set_advice_hook(AdviceHook hook) { default_opts_.advice_hook = std::move(hook); }
 
   /// Run `workload` to completion and return the collected results.
-  [[nodiscard]] RunResult run(Workload& workload);
+  [[nodiscard]] RunResult run(Workload& workload, const RunOptions& opts);
+  [[nodiscard]] RunResult run(Workload& workload) { return run(workload, default_opts_); }
 
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
 
  private:
   SimConfig cfg_;
-  TraceSink* trace_ = nullptr;
-  Timeline* timeline_ = nullptr;
-  Cycle timeline_interval_ = 100000;
-  AdviceHook advice_hook_;
+  RunOptions default_opts_;  ///< populated by the deprecated setters only
 };
 
 /// Convenience: build + run a named workload at a given oversubscription.
 /// `oversub` <= 0 keeps the configured capacity; otherwise capacity =
-/// footprint / oversub. Used by every experiment harness.
+/// footprint / oversub. Thin wrapper over run_request() (sim/runner.hpp),
+/// the single request-based entry point used by every experiment harness.
 [[nodiscard]] RunResult run_workload(const std::string& workload_name, SimConfig cfg,
                                      double oversub, const WorkloadParams& params = {});
 

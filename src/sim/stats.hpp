@@ -53,6 +53,10 @@ struct SimStats {
   /// Merge (sum) another stats block into this one.
   void accumulate(const SimStats& other) noexcept;
 
+  /// Field-wise equality — the batch-run determinism guarantee is asserted
+  /// in terms of this (serial and parallel runs must match exactly).
+  [[nodiscard]] bool operator==(const SimStats&) const noexcept = default;
+
   /// Multi-line human-readable report.
   [[nodiscard]] std::string report() const;
 };

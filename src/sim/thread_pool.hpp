@@ -1,0 +1,56 @@
+// Fixed-size worker pool for the batch-run engine. Deliberately minimal: a
+// locked deque plus condition variables — no work stealing, no futures. The
+// simulator's unit of work (one full run) is seconds, so queue contention is
+// irrelevant and a predictable FIFO keeps scheduling easy to reason about.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uvmsim {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown began.
+  /// A task that throws does not kill its worker: the first in-flight
+  /// exception is captured and rethrown by the next wait_idle() call.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle. Rethrows the
+  /// first exception that escaped a task since the previous wait_idle()
+  /// (later ones from the same interval are dropped).
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle()
+  std::size_t active_ = 0;            ///< tasks currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace uvmsim

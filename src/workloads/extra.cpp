@@ -19,6 +19,7 @@
 
 #include "workloads/common.hpp"
 #include "workloads/graph_gen.hpp"
+#include "workloads/input_cache.hpp"
 #include "workloads/registry.hpp"
 
 namespace uvmsim {
@@ -30,7 +31,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 struct SpmvState {
-  CsrGraph matrix;  ///< sparsity pattern
+  std::shared_ptr<const CsrGraph> matrix;  ///< sparsity pattern (input cache)
   Region rows;      ///< row pointers — hot-ish sequential
   Region cols;      ///< column indices — cold, read once
   Region vals;      ///< nonzero values — cold, read once
@@ -44,11 +45,11 @@ class SpmvKernel final : public Kernel {
   explicit SpmvKernel(std::shared_ptr<const SpmvState> st) : st_(std::move(st)) {}
   [[nodiscard]] std::string name() const override { return "spmv_csr"; }
   [[nodiscard]] std::uint64_t num_tasks() const override {
-    return div_ceil(st_->matrix.num_nodes, kRowsPerTask);
+    return div_ceil(st_->matrix->num_nodes, kRowsPerTask);
   }
 
   void gen_task(std::uint64_t task, std::vector<Access>& out) const override {
-    const CsrGraph& m = st_->matrix;
+    const CsrGraph& m = *st_->matrix;
     const std::uint32_t first = static_cast<std::uint32_t>(task * kRowsPerTask);
     const std::uint32_t last =
         std::min(m.num_nodes, first + static_cast<std::uint32_t>(kRowsPerTask));
@@ -104,10 +105,12 @@ class SpmvWorkload final : public Workload {
 
   void build(AddressSpace& space) override {
     st_ = std::make_shared<SpmvState>();
-    st_->matrix = make_power_law_graph(num_rows_, 12, 0.7, p_.seed + 11);
+    st_->matrix = cached_graph(
+        "plaw12a07/n=" + std::to_string(num_rows_) + "/seed=" + std::to_string(p_.seed + 11),
+        [&] { return make_power_law_graph(num_rows_, 12, 0.7, p_.seed + 11); });
     st_->gap = 300;
     const std::uint64_t n = num_rows_;
-    const std::uint64_t nnz = st_->matrix.num_edges();
+    const std::uint64_t nnz = st_->matrix->num_edges();
     st_->rows = make_region(space, "row_ptr", (n + 1) * 8);
     st_->cols = make_region(space, "col_idx", nnz * 4);
     st_->vals = make_region(space, "values", nnz * 8);
@@ -131,7 +134,7 @@ class SpmvWorkload final : public Workload {
 // ---------------------------------------------------------------------------
 
 struct PagerankState {
-  CsrGraph graph;
+  std::shared_ptr<const CsrGraph> graph;  ///< shared via the input cache
   Region offsets;   ///< hot-ish
   Region edges;     ///< cold, but re-streamed every iteration
   Region rank;      ///< hot RO within an iteration
@@ -144,11 +147,11 @@ class PagerankKernel final : public Kernel {
   explicit PagerankKernel(std::shared_ptr<const PagerankState> st) : st_(std::move(st)) {}
   [[nodiscard]] std::string name() const override { return "pagerank_pull"; }
   [[nodiscard]] std::uint64_t num_tasks() const override {
-    return div_ceil(st_->graph.num_nodes, kNodesPerTask);
+    return div_ceil(st_->graph->num_nodes, kNodesPerTask);
   }
 
   void gen_task(std::uint64_t task, std::vector<Access>& out) const override {
-    const CsrGraph& g = st_->graph;
+    const CsrGraph& g = *st_->graph;
     const std::uint32_t first = static_cast<std::uint32_t>(task * kNodesPerTask);
     const std::uint32_t last =
         std::min(g.num_nodes, first + static_cast<std::uint32_t>(kNodesPerTask));
@@ -197,10 +200,12 @@ class PagerankWorkload final : public Workload {
 
   void build(AddressSpace& space) override {
     st_ = std::make_shared<PagerankState>();
-    st_->graph = make_power_law_graph(num_nodes_, 10, 0.8, p_.seed + 13);
+    st_->graph = cached_graph(
+        "plaw10a08/n=" + std::to_string(num_nodes_) + "/seed=" + std::to_string(p_.seed + 13),
+        [&] { return make_power_law_graph(num_nodes_, 10, 0.8, p_.seed + 13); });
     st_->gap = 300;
     const std::uint64_t n = num_nodes_;
-    const std::uint64_t e = st_->graph.num_edges();
+    const std::uint64_t e = st_->graph->num_edges();
     st_->offsets = make_region(space, "offsets", (n + 1) * 8);
     st_->edges = make_region(space, "in_edges", e * 8);
     st_->rank = make_region(space, "rank", n * 8);

@@ -1,0 +1,102 @@
+#include "workloads/input_cache.hpp"
+
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace uvmsim {
+
+namespace {
+
+/// One keyed shard of the cache. The map stores shared_futures so a builder
+/// runs outside the lock while racing lookups of the same key block on the
+/// future instead of re-generating.
+template <typename T>
+class CacheShard {
+ public:
+  std::shared_ptr<const T> get(const std::string& key,
+                               const std::function<T()>& build) {
+    std::shared_future<std::shared_ptr<const T>> future;
+    bool builder = false;
+    std::promise<std::shared_ptr<const T>> promise;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        ++hits_;
+        future = it->second;
+      } else {
+        ++misses_;
+        builder = true;
+        future = promise.get_future().share();
+        map_.emplace(key, future);
+      }
+    }
+    if (builder) {
+      try {
+        promise.set_value(std::make_shared<const T>(build()));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+        // Drop the poisoned entry so a later lookup can retry.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        map_.erase(key);
+      }
+    }
+    return future.get();  // rethrows a builder exception to all waiters
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+  }
+
+  void add_stats(InputCacheStats& s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.entries += map_.size();
+    s.hits += hits_;
+    s.misses += misses_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<std::shared_ptr<const T>>> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+CacheShard<CsrGraph>& graph_shard() {
+  static CacheShard<CsrGraph> shard;
+  return shard;
+}
+
+CacheShard<WaveList>& wave_shard() {
+  static CacheShard<WaveList> shard;
+  return shard;
+}
+
+}  // namespace
+
+std::shared_ptr<const CsrGraph> cached_graph(const std::string& key,
+                                             const std::function<CsrGraph()>& build) {
+  return graph_shard().get(key, build);
+}
+
+std::shared_ptr<const WaveList> cached_waves(const std::string& key,
+                                             const std::function<WaveList()>& build) {
+  return wave_shard().get(key, build);
+}
+
+void input_cache_clear() {
+  graph_shard().clear();
+  wave_shard().clear();
+}
+
+InputCacheStats input_cache_stats() {
+  InputCacheStats s;
+  graph_shard().add_stats(s);
+  wave_shard().add_stats(s);
+  return s;
+}
+
+}  // namespace uvmsim

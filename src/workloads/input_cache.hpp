@@ -1,0 +1,47 @@
+// Process-wide cache of expensive deterministic workload inputs: generated
+// CSR graphs and the host-side traversal wavefronts derived from them. The
+// batch-run engine executes many simulations of the same workload+scale
+// concurrently; without this cache every run would regenerate the identical
+// graph (the dominant build() cost for bfs/sssp/spmv/pagerank).
+//
+// Values are immutable once published and handed out as shared_ptr<const T>.
+// The builder for a missing key runs exactly once: racing requesters block
+// on a shared_future until it is ready, so N concurrent runs of the same
+// workload cost one generation. Keys must encode every generation parameter
+// (kind, node count, degree, skew, seed, ...) — two requests with the same
+// key MUST want the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/graph_gen.hpp"
+
+namespace uvmsim {
+
+/// Per-level frontiers / per-round worklists of a traversal.
+using WaveList = std::vector<std::vector<std::uint32_t>>;
+
+/// Return the cached graph for `key`, building it via `build` on first use.
+[[nodiscard]] std::shared_ptr<const CsrGraph> cached_graph(
+    const std::string& key, const std::function<CsrGraph()>& build);
+
+/// Same contract for traversal wavefronts.
+[[nodiscard]] std::shared_ptr<const WaveList> cached_waves(
+    const std::string& key, const std::function<WaveList()>& build);
+
+/// Drop every cached input (tests, or long-lived processes switching grids).
+/// Values still referenced by live workloads stay alive via their shared_ptr.
+void input_cache_clear();
+
+struct InputCacheStats {
+  std::size_t entries = 0;  ///< distinct keys currently cached
+  std::size_t hits = 0;     ///< lookups served from the cache
+  std::size_t misses = 0;   ///< lookups that ran the builder
+};
+[[nodiscard]] InputCacheStats input_cache_stats();
+
+}  // namespace uvmsim

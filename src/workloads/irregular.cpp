@@ -16,6 +16,7 @@
 
 #include "workloads/common.hpp"
 #include "workloads/graph_gen.hpp"
+#include "workloads/input_cache.hpp"
 #include "workloads/registry.hpp"
 
 namespace uvmsim {
@@ -36,11 +37,19 @@ struct GraphLayout {
 };
 
 struct GraphState {
-  CsrGraph graph;
-  std::vector<std::vector<std::uint32_t>> waves;  ///< frontiers or worklists
+  std::shared_ptr<const CsrGraph> graph;  ///< shared via the input cache
+  std::shared_ptr<const WaveList> waves;  ///< frontiers or worklists (shared)
+  std::size_t num_waves = 0;              ///< replayed prefix of `waves`
   GraphLayout mem;
   std::uint64_t seed = 0;
 };
+
+/// Cache key for the graph substrate; must encode every generator parameter.
+std::string graph_key(const std::string& kind, std::uint32_t num_nodes,
+                      std::uint32_t avg_degree, std::uint64_t seed) {
+  return kind + "/n=" + std::to_string(num_nodes) + "/d=" + std::to_string(avg_degree) +
+         "/seed=" + std::to_string(seed);
+}
 
 /// Sparse expansion kernel shared by bfs and sssp kernel1: process one wave
 /// of nodes; per node read its CSR slot and edge run, probe the status of
@@ -59,12 +68,12 @@ class ExpandKernel final : public Kernel {
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::uint64_t num_tasks() const override {
-    return div_ceil(st_->waves[wave_].size(), kNodesPerTask);
+    return div_ceil((*st_->waves)[wave_].size(), kNodesPerTask);
   }
 
   void gen_task(std::uint64_t task, std::vector<Access>& out) const override {
-    const auto& wave = st_->waves[wave_];
-    const CsrGraph& g = st_->graph;
+    const auto& wave = (*st_->waves)[wave_];
+    const CsrGraph& g = *st_->graph;
     const GraphLayout& m = st_->mem;
     Rng rng = task_rng(st_->seed, wave_, task);
 
@@ -136,20 +145,24 @@ class BfsWorkload final : public Workload {
   void build(AddressSpace& space) override {
     st_ = std::make_shared<GraphState>();
     st_->seed = p_.seed;
-    st_->graph = p_.graph == "road"
-                     ? make_road_graph(num_nodes_, 0.02, p_.seed)
-                     : make_power_law_graph(num_nodes_, 10, 0.6, p_.seed);
-    st_->waves = bfs_levels(st_->graph, 0);
+    const bool road = p_.graph == "road";
+    const std::string gkey = graph_key(road ? "road" : "plaw10", num_nodes_, 10, p_.seed);
+    st_->graph = cached_graph(gkey, [&] {
+      return road ? make_road_graph(num_nodes_, 0.02, p_.seed)
+                  : make_power_law_graph(num_nodes_, 10, 0.6, p_.seed);
+    });
+    st_->waves = cached_waves(gkey + "|bfs/src=0",
+                              [&] { return bfs_levels(*st_->graph, 0); });
     // Road graphs have hundreds of small levels; cap the replayed levels to
     // keep runs tractable (iterations overrides).
     const std::size_t cap = p_.iterations != 0 ? p_.iterations
-                            : p_.graph == "road" ? 64
-                                                 : st_->waves.size();
-    if (st_->waves.size() > cap) st_->waves.resize(cap);
+                            : road             ? 64
+                                               : st_->waves->size();
+    st_->num_waves = std::min(st_->waves->size(), cap);
 
     GraphLayout& m = st_->mem;
     const std::uint64_t n = num_nodes_;
-    const std::uint64_t e = st_->graph.num_edges();
+    const std::uint64_t e = st_->graph->num_edges();
     m.nodes = make_region(space, "graph_nodes", (n + 1) * 8);
     m.edges = make_region(space, "graph_edges", e * 8);
     m.status = make_region(space, "visited", n * 4);
@@ -163,12 +176,12 @@ class BfsWorkload final : public Workload {
     scan_opt.count = 8;
     scan_opt.gap = 300;
     scan_opt.lines_per_task = 16;
-    for (std::uint32_t l = 0; l < st_->waves.size(); ++l) {
+    for (std::uint32_t l = 0; l < st_->num_waves; ++l) {
       const double frac =
-          l + 1 < st_->waves.size()
-              ? std::min(1.0, static_cast<double>(st_->waves[l + 1].size()) /
+          l + 1 < st_->num_waves
+              ? std::min(1.0, static_cast<double>((*st_->waves)[l + 1].size()) /
                                   static_cast<double>(std::max<std::size_t>(
-                                      1, st_->waves[l].size() * 4)))
+                                      1, (*st_->waves)[l].size() * 4)))
               : 0.05;
       seq.push_back(std::make_shared<ExpandKernel>("bfs_kernel1", st_, l,
                                                    /*read_weights=*/false, frac, 250));
@@ -204,14 +217,21 @@ class SsspWorkload final : public Workload {
   void build(AddressSpace& space) override {
     st_ = std::make_shared<GraphState>();
     st_->seed = p_.seed + 1;
-    st_->graph = p_.graph == "road"
-                     ? make_road_graph(num_nodes_, 0.02, st_->seed)
-                     : make_power_law_graph(num_nodes_, 12, 0.6, st_->seed);
-    st_->waves = sssp_rounds(st_->graph, 0, p_.iterations, st_->seed);
+    const bool road = p_.graph == "road";
+    const std::string gkey =
+        graph_key(road ? "road" : "plaw12", num_nodes_, 12, st_->seed);
+    st_->graph = cached_graph(gkey, [&] {
+      return road ? make_road_graph(num_nodes_, 0.02, st_->seed)
+                  : make_power_law_graph(num_nodes_, 12, 0.6, st_->seed);
+    });
+    st_->waves = cached_waves(
+        gkey + "|sssp/src=0/r=" + std::to_string(p_.iterations),
+        [&] { return sssp_rounds(*st_->graph, 0, p_.iterations, st_->seed); });
+    st_->num_waves = st_->waves->size();
 
     GraphLayout& m = st_->mem;
     const std::uint64_t n = num_nodes_;
-    const std::uint64_t e = st_->graph.num_edges();
+    const std::uint64_t e = st_->graph->num_edges();
     m.nodes = make_region(space, "graph_nodes", (n + 1) * 8);
     m.edges = make_region(space, "graph_edges", e * 8);
     m.weights = make_region(space, "edge_weights", e * 4);
@@ -226,7 +246,7 @@ class SsspWorkload final : public Workload {
     scan_opt.count = 8;
     scan_opt.gap = 300;
     scan_opt.lines_per_task = 16;
-    for (std::uint32_t r = 0; r < st_->waves.size(); ++r) {
+    for (std::uint32_t r = 0; r < st_->num_waves; ++r) {
       seq.push_back(std::make_shared<ExpandKernel>("sssp_kernel1", st_, r,
                                                    /*read_weights=*/true, 0.3, 250));
       // Worklist rebuild: dense sequential scan over dist and flags (the hot

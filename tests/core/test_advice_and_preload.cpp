@@ -98,10 +98,11 @@ TEST(AdviceIntegration, AccessedByKeepsColdDataOffDevice) {
 
   auto hinted_wl = make_workload("ra", params);
   Simulator hinted_sim(cfg);
-  hinted_sim.set_advice_hook([](AddressSpace& space) {
+  RunOptions hinted_opts;
+  hinted_opts.advice_hook = [](AddressSpace& space) {
     ASSERT_TRUE(space.advise("update_table", MemAdvice::kAccessedBy));
-  });
-  const RunResult hinted = hinted_sim.run(*hinted_wl);
+  };
+  const RunResult hinted = hinted_sim.run(*hinted_wl, hinted_opts);
 
   EXPECT_GT(hinted.stats.remote_accesses, 0u);
   EXPECT_LT(hinted.stats.pages_thrashed, plain.stats.pages_thrashed);

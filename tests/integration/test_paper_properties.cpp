@@ -69,8 +69,9 @@ TEST(Fig2Shape, SsspHasHotAndColdAllocationsFdtdDoesNot) {
     make_workload(name, params)->build(sizing);
     PageHistogram hist(sizing);
     Simulator sim(cfg);
-    sim.set_trace_sink(&hist);
-    (void)sim.run(*wl);
+    RunOptions opts;
+    opts.trace_sink = &hist;
+    (void)sim.run(*wl, opts);
     return hist.summarize();
   };
 

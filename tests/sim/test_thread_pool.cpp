@@ -1,0 +1,95 @@
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace uvmsim {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No wait_idle(): destruction must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkerOrNeighbours) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("task failure"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Every non-throwing task still ran.
+  EXPECT_EQ(counter.load(), 20);
+
+  // The pool remains usable and a clean interval reports no error.
+  pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      if (inside.fetch_add(1) + 1 >= 2) overlapped.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      inside.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_TRUE(overlapped.load());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -115,8 +115,9 @@ TEST(RecordReplay, EndToEndRoundTrip) {
   TraceRecorder rec;
   rec.capture_layout(sizing);
   Simulator record_sim(cfg);
-  record_sim.set_trace_sink(&rec);
-  const RunResult recorded = record_sim.run(*original);
+  RunOptions rec_opts;
+  rec_opts.trace_sink = &rec;
+  const RunResult recorded = record_sim.run(*original, rec_opts);
 
   // Serialize + reload.
   std::stringstream ss;
@@ -149,8 +150,9 @@ TEST(RecordReplay, ReplayUnderDifferentPolicies) {
   TraceRecorder rec;
   rec.capture_layout(sizing);
   Simulator record_sim(cfg);
-  record_sim.set_trace_sink(&rec);
-  (void)record_sim.run(*original);
+  RunOptions rec_opts;
+  rec_opts.trace_sink = &rec;
+  (void)record_sim.run(*original, rec_opts);
 
   // The same trace, two different drivers.
   TraceWorkload replay1(rec.trace());

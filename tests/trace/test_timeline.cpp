@@ -39,8 +39,10 @@ TEST(Timeline, SimulatorSamplesPeriodically) {
   auto wl = make_workload("fdtd", params);
   Timeline timeline;
   Simulator sim(cfg);
-  sim.set_timeline(&timeline, /*interval=*/50000);
-  const RunResult r = sim.run(*wl);
+  RunOptions opts;
+  opts.timeline = &timeline;
+  opts.timeline_interval = 50000;
+  const RunResult r = sim.run(*wl, opts);
 
   ASSERT_GT(timeline.samples().size(), 2u);
   // Samples are spaced by the interval and cycles are monotone.
@@ -69,8 +71,10 @@ TEST(Timeline, ShowsMemoryFillingUp) {
   auto wl = make_workload("ra", params);
   Timeline timeline;
   Simulator sim(cfg);
-  sim.set_timeline(&timeline, 50000);
-  (void)sim.run(*wl);
+  RunOptions opts;
+  opts.timeline = &timeline;
+  opts.timeline_interval = 50000;
+  (void)sim.run(*wl, opts);
 
   ASSERT_GT(timeline.samples().size(), 2u);
   EXPECT_LT(timeline.samples().front().occupancy(), 0.5);

@@ -223,9 +223,10 @@ int main(int argc, char** argv) {
     }
 
     Simulator sim(cfg);
-    if (!record_path.empty()) sim.set_trace_sink(&recorder);
-    if (!timeline_path.empty()) sim.set_timeline(&timeline);
-    const RunResult r = sim.run(*wl);
+    RunOptions opts;
+    if (!record_path.empty()) opts.trace_sink = &recorder;
+    if (!timeline_path.empty()) opts.timeline = &timeline;
+    const RunResult r = sim.run(*wl, opts);
 
     if (!record_path.empty()) {
       std::ofstream out(record_path, std::ios::binary);

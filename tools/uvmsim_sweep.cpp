@@ -1,16 +1,23 @@
 // uvmsim-sweep: regenerate the paper's full evaluation grid as tidy CSV for
 // downstream plotting (each figure of the paper is a slice of this data).
 //
-//   uvmsim-sweep --out results.csv [--scale 1.0] [--quick]
+//   uvmsim-sweep --out results.csv [--scale 1.0] [--jobs N] [--quick]
 //
 // Grid: 8 workloads x {Baseline, Always, Oversub, Adaptive}
 //       x oversubscription {fits, 1.25, 1.50}
 //       plus the Fig 4 ts sweep and Fig 8 penalty sweep at 125 %.
+//
+// Runs execute on the parallel batch engine (sim/runner.hpp). Rows are
+// written in grid order after the batch completes, and every run is fully
+// seeded by its request, so the CSV is byte-identical for any --jobs value.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include <uvmsim/uvmsim.hpp>
 
@@ -19,6 +26,43 @@
 namespace {
 
 using namespace uvmsim;
+
+constexpr const char* kUsage =
+    "usage: uvmsim-sweep [--out FILE] [--scale F] [--jobs N] [--quick]\n"
+    "  --out FILE   output CSV path (default uvmsim_sweep.csv)\n"
+    "  --scale F    workload footprint scale, F > 0 (default 1.0)\n"
+    "  --jobs N     worker threads, N >= 1 (default: hardware concurrency)\n"
+    "  --quick      cap scale at 0.2 for a fast smoke sweep\n";
+
+int usage_error(const char* flag, const char* value) {
+  if (value != nullptr)
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, value);
+  else
+    std::fprintf(stderr, "missing value for %s\n", flag);
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+/// Strict numeric parsing — the whole token must be a finite number
+/// (std::atof silently maps garbage to 0.0, which used to turn a typo'd
+/// --scale into a degenerate sweep).
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(v)) return false;
+  out = v;
+  return true;
+}
+
+bool parse_unsigned(const char* s, unsigned& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v > 1u << 20) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
 
 SimConfig scheme_cfg(PolicyKind policy) {
   SimConfig cfg;
@@ -33,18 +77,28 @@ SimConfig scheme_cfg(PolicyKind policy) {
 int main(int argc, char** argv) {
   std::string out_path = "uvmsim_sweep.csv";
   double scale = 1.0;
+  unsigned jobs = 0;  // 0 = hardware concurrency
   bool quick = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--out" && i + 1 < argc) {
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--out") {
+      if (value == nullptr) return usage_error("--out", nullptr);
       out_path = argv[++i];
-    } else if (arg == "--scale" && i + 1 < argc) {
-      scale = std::atof(argv[++i]);
+    } else if (arg == "--scale") {
+      if (value == nullptr || !parse_double(value, scale) || scale <= 0.0)
+        return usage_error("--scale", value);
+      ++i;
+    } else if (arg == "--jobs") {
+      if (value == nullptr || !parse_unsigned(value, jobs) || jobs == 0)
+        return usage_error("--jobs", value);
+      ++i;
     } else if (arg == "--quick") {
       quick = true;
     } else {
-      std::fprintf(stderr, "usage: uvmsim-sweep [--out FILE] [--scale F] [--quick]\n");
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::fputs(kUsage, stderr);
       return 2;
     }
   }
@@ -55,17 +109,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  write_run_csv_header(out);
 
   WorkloadParams params;
   params.scale = scale;
-  std::size_t runs = 0;
-  auto emit = [&](const std::string& name, const SimConfig& cfg, double oversub) {
-    const RunResult r = run_workload(name, cfg, oversub, params);
-    append_run_csv(out, name, cfg, oversub, r);
-    ++runs;
-    std::printf("\r%zu runs...", runs);
-    std::fflush(stdout);
+
+  // Describe the full grid in figure order; rows are emitted in this order.
+  std::vector<RunRequest> grid;
+  auto add = [&](const std::string& name, const SimConfig& cfg, double oversub) {
+    RunRequest req;
+    req.workload = name;
+    req.params = params;
+    req.config = cfg;
+    req.oversub = oversub;
+    grid.push_back(std::move(req));
   };
 
   for (const auto& name : workload_names()) {
@@ -73,23 +129,48 @@ int main(int argc, char** argv) {
     for (const PolicyKind policy : {PolicyKind::kFirstTouch, PolicyKind::kStaticAlways,
                                     PolicyKind::kStaticOversub, PolicyKind::kAdaptive}) {
       for (const double oversub : {0.0, 1.25, 1.5}) {
-        emit(name, scheme_cfg(policy), oversub);
+        add(name, scheme_cfg(policy), oversub);
       }
     }
     // Fig 4: ts sweep under Always at 125 %.
     for (const std::uint32_t ts : {16u, 32u}) {
       SimConfig cfg = scheme_cfg(PolicyKind::kStaticAlways);
       cfg.policy.static_threshold = ts;
-      emit(name, cfg, 1.25);
+      add(name, cfg, 1.25);
     }
     // Fig 8: penalty sweep under Adaptive at 125 %.
     for (const std::uint64_t p : {2ull, 4ull, 1048576ull}) {
       SimConfig cfg = scheme_cfg(PolicyKind::kAdaptive);
       cfg.policy.migration_penalty = p;
-      emit(name, cfg, 1.25);
+      add(name, cfg, 1.25);
     }
   }
 
-  std::printf("\nwrote %zu runs to %s\n", runs, out_path.c_str());
+  BatchOptions opts;
+  opts.jobs = jobs;
+  opts.on_done = [](const BatchEntry&, std::size_t done, std::size_t) {
+    std::printf("\r%zu runs...", done);
+    std::fflush(stdout);
+  };
+  const BatchResult batch = run_batch(grid, opts);
+
+  write_run_csv_header(out);
+  std::size_t written = 0;
+  for (const BatchEntry& e : batch.entries) {
+    if (!e.ok()) {
+      std::fprintf(stderr, "\n%s (oversub %.2f): %s\n", e.request.workload.c_str(),
+                   e.request.oversub, e.error.c_str());
+      continue;
+    }
+    append_run_csv(out, e.request.workload, e.request.config, e.request.oversub, e.result);
+    ++written;
+  }
+
+  std::printf("\nwrote %zu runs to %s (%u jobs, %.1f s wall)\n", written, out_path.c_str(),
+              batch.jobs, batch.wall_ms / 1000.0);
+  if (!batch.all_ok()) {
+    std::fprintf(stderr, "%zu of %zu runs failed\n", batch.failed, batch.entries.size());
+    return 1;
+  }
   return 0;
 }
