@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification pipeline: build + test every preset
+# (default, asan, ubsan, tsan), smoke an audited oversubscribed run under
+# each sanitizer, then static analysis (determinism lint, clang-tidy when
+# installed).
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --quick    # default preset + lint only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+presets=(default asan ubsan tsan)
+[[ $quick -eq 1 ]] && presets=(default)
+
+declare -A build_dir=(
+  [default]=build [asan]=build-asan [ubsan]=build-ubsan [tsan]=build-tsan)
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure + build"
+  cmake --preset "$preset" > /dev/null
+  cmake --build --preset "$preset" -j "$jobs"
+
+  echo "==> [$preset] ctest"
+  ctest --preset "$preset" -j "$jobs"
+
+  # Audit smoke: bfs at 75 % residency (working set / capacity = 4/3) with
+  # the invariant auditor fail-fast — any violation fails the pipeline.
+  echo "==> [$preset] audited oversubscription smoke"
+  "${build_dir[$preset]}/tools/uvmsim" --workload bfs --policy adaptive \
+      --oversub 1.3333 --scale 0.1 --audit | grep '^audit:'
+done
+
+echo "==> determinism lint"
+tools/lint_determinism
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "==> clang-tidy"
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # shellcheck disable=SC2046
+  clang-tidy -p build --quiet $(find src -name '*.cpp') | tee /tmp/ct.log
+  if grep -q "error:" /tmp/ct.log; then
+    echo "clang-tidy reported errors"
+    exit 1
+  fi
+else
+  echo "==> clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+echo "CI: all green"

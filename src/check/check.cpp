@@ -1,0 +1,13 @@
+#include "check/check.hpp"
+
+namespace uvmsim::detail {
+
+void check_fail(const char* expr, const char* file, int line,
+                const std::string& context) {
+  std::ostringstream os;
+  os << "UVM_CHECK failed: " << expr << " (" << file << ':' << line << ')';
+  if (!context.empty()) os << ": " << context;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace uvmsim::detail

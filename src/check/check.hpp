@@ -1,0 +1,49 @@
+// UVM_CHECK — the always-on cheap tier of the invariant tooling.
+//
+// A failed check throws CheckFailure (a std::logic_error) carrying the
+// failed expression, source location and a caller-formatted context dump,
+// instead of the raw assert() the bookkeeping used to rely on. Unlike
+// assert(), UVM_CHECK survives NDEBUG release builds, and unlike abort()
+// the failure is catchable — run_batch() isolates a violating run into its
+// BatchEntry::error instead of taking the whole batch down.
+//
+// The passing path is a single predicted branch; the formatting lambda body
+// only executes on failure, so checks are safe on hot paths.
+//
+// Usage:
+//   UVM_CHECK(s.residence == Residence::kHost,
+//             "block " << b << " state=" << to_cstr(s.residence));
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace uvmsim {
+
+/// Thrown by UVM_CHECK and the fail-fast auditor. Derives from
+/// std::logic_error so pre-existing EXPECT_THROW(std::logic_error)
+/// expectations on illegal state transitions keep holding.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+/// Builds the diagnostic ("UVM_CHECK failed: <expr> (<file>:<line>): <ctx>")
+/// and throws CheckFailure. Out-of-line so check sites stay small.
+[[noreturn]] void check_fail(const char* expr, const char* file, int line,
+                             const std::string& context);
+}  // namespace detail
+
+}  // namespace uvmsim
+
+#define UVM_CHECK(cond, context_stream)                                      \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::std::ostringstream uvm_check_os_;                                    \
+      uvm_check_os_ << context_stream; /* NOLINT */                          \
+      ::uvmsim::detail::check_fail(#cond, __FILE__, __LINE__,                \
+                                   uvm_check_os_.str());                     \
+    }                                                                        \
+  } while (0)

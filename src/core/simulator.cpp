@@ -87,6 +87,8 @@ RunResult Simulator::run(Workload& workload, const RunOptions& opts) {
     throw std::logic_error("Simulator: schedule did not run to completion");
   if (!driver.idle())
     throw std::logic_error("Simulator: driver left outstanding work after drain");
+  // Final audit pass over the drained state (no-op unless audit.enabled).
+  driver.audit_final();
 
   stats.total_cycles = queue.now();
   for (const KernelStat& k : result.kernels) stats.kernel_cycles += k.duration();

@@ -1,7 +1,8 @@
 #include "core/uvm_driver.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
 
 namespace uvmsim {
 
@@ -20,6 +21,7 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
       prefetcher_(make_prefetcher(cfg.mem.prefetcher, cfg.rng_seed)),
       policy_(make_policy(cfg.policy)),
       throttle_(cfg.mitigation),
+      audit_(cfg.audit.enabled ? std::make_unique<InvariantAuditor>(cfg.audit) : nullptr),
       pcie_(cfg),
       dram_(cfg.dram_bytes_per_cycle()) {
   if (shared_host_mem != nullptr) {
@@ -47,8 +49,33 @@ PolicyContext UvmDriver::policy_context() const noexcept {
                        overcommitted};
 }
 
+AuditScope UvmDriver::audit_scope() const noexcept {
+  AuditScope s;
+  s.table = &table_;
+  s.device = &device_;
+  s.counters = &counters_;
+  s.eviction = &eviction_;
+  s.pcie = &pcie_;
+  s.queue = &queue_;
+  s.stats = &stats_;
+  s.policy = policy_.get();
+  s.policy_cfg = &cfg_.policy;
+  s.policy_ctx = policy_context();
+  s.in_flight_blocks = in_flight_;
+  s.queued_fault_blocks = queued_fault_blocks_;
+  s.historic_counters = cfg_.policy.historic_counters();
+  return s;
+}
+
+void UvmDriver::audit_final() {
+  if (audit_) audit_->finalize(audit_scope(), stats_);
+}
+
 AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::uint32_t count,
                                 Cycle now) {
+  // Audit on entry: the structures are quiescent between events, so a pass
+  // here sees a consistent snapshot before this access mutates anything.
+  if (audit_) audit_->on_event(audit_scope(), stats_);
   stats_.total_accesses += count;
   const BlockNum b = block_of(addr);
   const Residence res = table_.block(b).residence;
@@ -156,6 +183,7 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
 void UvmDriver::raise_fault(BlockNum b, WarpId w, bool with_prefetch) {
   waiters_[b].push_back(w);
   table_.mark_in_flight(b);
+  ++queued_fault_blocks_;
   pending_.push_back(PendingFault{b, with_prefetch});
   maybe_start_engine();
 }
@@ -169,7 +197,8 @@ void UvmDriver::maybe_start_engine() {
 }
 
 void UvmDriver::process_batch() {
-  assert(engine_busy_);
+  UVM_CHECK(engine_busy_, "UvmDriver: fault engine drained a batch while idle; pending="
+                << pending_.size() << " in_flight=" << in_flight_);
   if (pending_.empty()) {
     engine_busy_ = false;
     return;
@@ -261,6 +290,10 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
       pending_.push_back(PendingFault{f.block, f.with_prefetch});
       continue;
     }
+    UVM_CHECK(queued_fault_blocks_ > 0,
+              "UvmDriver: servicing fault for block " << f.block
+                  << " with no queued faults tracked");
+    --queued_fault_blocks_;
     enqueue_migration(f.block, /*demand=*/true, now, writeback_ready);
     progressed = true;
 
@@ -292,6 +325,7 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
   } else {
     engine_busy_ = false;
   }
+  if (audit_) audit_->on_event(audit_scope(), stats_);
 }
 
 void UvmDriver::preload_all(std::function<void(Cycle)> on_done) {
@@ -325,7 +359,8 @@ void UvmDriver::on_block_arrival(BlockNum b) {
   const Cycle now = queue_.now();
   table_.mark_resident(b, now);
   if (peers_ != nullptr) peers_->set_resident(b, gpu_id_);
-  assert(in_flight_ > 0);
+  UVM_CHECK(in_flight_ > 0, "UvmDriver: block " << b
+                << " arrived with no transfer in flight at cycle " << now);
   --in_flight_;
 
   const auto it = waiters_.find(b);
@@ -340,6 +375,7 @@ void UvmDriver::on_block_arrival(BlockNum b) {
     waiters_.erase(it);
   }
   maybe_start_engine();
+  if (audit_) audit_->on_event(audit_scope(), stats_);
 }
 
 }  // namespace uvmsim

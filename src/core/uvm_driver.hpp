@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "mem/access_counters.hpp"
 #include "mitigation/thrash_throttle.hpp"
 #include "multigpu/peer_directory.hpp"
@@ -95,6 +96,12 @@ class UvmDriver {
     return pending_.empty() && !engine_busy_ && in_flight_ == 0;
   }
 
+  /// The invariant auditor, or null when `audit.enabled` is off.
+  [[nodiscard]] const InvariantAuditor* auditor() const noexcept { return audit_.get(); }
+  /// End-of-run audit pass (unconditional when auditing is enabled); called
+  /// by the simulator once the driver drains.
+  void audit_final();
+
  private:
   struct PendingFault {
     BlockNum block;
@@ -102,6 +109,7 @@ class UvmDriver {
   };
 
   [[nodiscard]] PolicyContext policy_context() const noexcept;
+  [[nodiscard]] AuditScope audit_scope() const noexcept;
   void raise_fault(BlockNum b, WarpId w, bool with_prefetch);
   void maybe_start_engine();
   void process_batch();
@@ -123,6 +131,7 @@ class UvmDriver {
   std::unique_ptr<Prefetcher> prefetcher_;
   std::unique_ptr<MigrationPolicy> policy_;
   ThrashThrottle throttle_;
+  std::unique_ptr<InvariantAuditor> audit_;  ///< non-null when audit.enabled
   PcieFabric pcie_;
   BandwidthRegulator dram_;
   std::unique_ptr<BandwidthRegulator> owned_host_mem_;  ///< when not shared
@@ -133,6 +142,9 @@ class UvmDriver {
   std::deque<PendingFault> pending_;
   bool engine_busy_ = false;
   std::uint64_t in_flight_ = 0;  ///< H2D block transfers not yet arrived
+  /// Demand blocks marked in-flight but still queued (pending_ or an
+  /// engine batch) — no transfer enqueued for them yet.
+  std::uint64_t queued_fault_blocks_ = 0;
 
   WarpWaker waker_;
   TlbInvalidate tlb_invalidate_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
+
 namespace uvmsim {
 
 AccessCounterTable::AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift)
@@ -17,6 +19,9 @@ std::uint32_t AccessCounterTable::record_access(VirtAddr a, std::uint32_t n) {
     cnt = (regs_[u] & kCountMax) + static_cast<std::uint64_t>(n);
     cnt = std::min<std::uint64_t>(cnt, kCountMax - 1);
   }
+  // Clamp-at-saturation: the global halving must have left headroom.
+  UVM_CHECK(cnt < kCountMax, "AccessCounterTable: unit " << u << " count " << cnt
+                << " not clamped below saturation (halvings=" << halvings_ << ')');
   regs_[u] = (trips << kCountBits) | static_cast<std::uint32_t>(cnt);
   return static_cast<std::uint32_t>(cnt);
 }
@@ -28,6 +33,9 @@ void AccessCounterTable::record_round_trip(VirtAddr a) {
     halve_all();
     trips = regs_[u] >> kCountBits;
   }
+  UVM_CHECK(trips + 1 < kTripMax, "AccessCounterTable: unit " << u
+                << " round-trip field " << trips + 1
+                << " not clamped below saturation");
   const std::uint32_t cnt = regs_[u] & kCountMax;
   regs_[u] = ((trips + 1) << kCountBits) | cnt;
 }

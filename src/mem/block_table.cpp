@@ -1,7 +1,6 @@
 #include "mem/block_table.hpp"
 
-#include <cassert>
-#include <stdexcept>
+#include "check/check.hpp"
 
 namespace uvmsim {
 
@@ -29,15 +28,17 @@ void BlockTable::touch(BlockNum b, AccessType type, Cycle now) {
 
 void BlockTable::mark_in_flight(BlockNum b) {
   BlockState& s = blocks_[b];
-  if (s.residence != Residence::kHost)
-    throw std::logic_error("BlockTable: in-flight transition requires host residence");
+  UVM_CHECK(s.residence == Residence::kHost,
+            "BlockTable: in-flight transition requires host residence; block=" << b
+                << " state=" << to_cstr(s.residence) << " round_trips=" << s.round_trips);
   s.residence = Residence::kInFlight;
 }
 
 void BlockTable::mark_resident(BlockNum b, Cycle now) {
   BlockState& s = blocks_[b];
-  if (s.residence != Residence::kInFlight)
-    throw std::logic_error("BlockTable: resident transition requires in-flight state");
+  UVM_CHECK(s.residence == Residence::kInFlight,
+            "BlockTable: resident transition requires in-flight state; block=" << b
+                << " state=" << to_cstr(s.residence) << " now=" << now);
   s.residence = Residence::kDevice;
   s.dirty = s.dirty_on_arrival;
   s.dirty_on_arrival = false;
@@ -48,14 +49,17 @@ void BlockTable::mark_resident(BlockNum b, Cycle now) {
 
 bool BlockTable::mark_evicted(BlockNum b) {
   BlockState& s = blocks_[b];
-  if (s.residence != Residence::kDevice)
-    throw std::logic_error("BlockTable: eviction requires device residence");
+  UVM_CHECK(s.residence == Residence::kDevice,
+            "BlockTable: eviction requires device residence; block=" << b
+                << " state=" << to_cstr(s.residence) << " dirty=" << s.dirty);
   const bool was_dirty = s.dirty;
   s.residence = Residence::kHost;
   s.dirty = false;
   ++s.round_trips;
   ChunkResidency& c = chunks_[chunk_of_block(b)];
-  assert(c.resident_blocks > 0);
+  UVM_CHECK(c.resident_blocks > 0,
+            "BlockTable: chunk " << chunk_of_block(b)
+                << " resident count underflow evicting block " << b);
   --c.resident_blocks;
   return was_dirty;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "sim/types.hpp"
 
 namespace uvmsim {
@@ -44,7 +45,9 @@ class DeviceMemory {
 
   /// Release `n` previously reserved blocks.
   void release(std::uint64_t n) {
-    if (n > used_blocks_) throw std::logic_error("DeviceMemory: releasing unreserved blocks");
+    UVM_CHECK(n <= used_blocks_, "DeviceMemory: releasing " << n
+                  << " blocks with only " << used_blocks_ << '/'
+                  << capacity_blocks_ << " reserved");
     used_blocks_ -= n;
   }
 

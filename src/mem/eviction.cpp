@@ -4,6 +4,8 @@
 #include <limits>
 #include <tuple>
 
+#include "check/check.hpp"
+
 namespace uvmsim {
 
 ChunkNum LruEviction::pick(const std::vector<ChunkNum>& candidates, const BlockTable& table,
@@ -129,6 +131,12 @@ std::vector<BlockNum> EvictionManager::select_victims(const BlockTable& table,
                                                            : busy_partial;
   if (pool.empty()) return {};
   const ChunkNum victim = policy_->pick(pool, table, counters);
+  UVM_CHECK(table.chunk(victim).resident_blocks > 0,
+            "EvictionManager: policy " << policy_->name() << " picked chunk "
+                << victim << " with no resident blocks");
+  UVM_CHECK(!q.has_faulting_chunk || victim != q.faulting_chunk,
+            "EvictionManager: policy " << policy_->name()
+                << " picked the faulting chunk " << victim);
 
   if (kind_ == EvictionKind::kTree) {
     const auto subtree = tree_eviction_subtree(victim, table);

@@ -87,6 +87,7 @@ class EvictionManager {
   EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes);
 
   [[nodiscard]] EvictionKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t granularity() const noexcept { return granularity_; }
 
   /// Victim blocks to evict to make progress, or empty when nothing is
   /// evictable. With 2 MB granularity this is every resident block of the

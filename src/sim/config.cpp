@@ -74,6 +74,7 @@ void SimConfig::validate() const {
     fail("counter_granularity must be 64KB or 4KB");
   if (policy.static_threshold == 0) fail("static_threshold (ts) must be >= 1");
   if (policy.migration_penalty == 0) fail("migration_penalty (p) must be >= 1");
+  if (audit.interval_events == 0) fail("audit.interval_events must be >= 1");
 }
 
 std::string describe(const SimConfig& cfg) {

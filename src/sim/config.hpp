@@ -142,6 +142,18 @@ struct ThrashThrottleConfig {
   Cycle pin_cooldown = 2000000;
 };
 
+/// Invariant-audit configuration (check/audit.hpp). The cheap UVM_CHECK tier
+/// is always on; this enables the expensive whole-structure cross-validation
+/// tier (UVM_AUDIT) at a configurable event interval.
+struct AuditConfig {
+  bool enabled = false;
+  /// Driver events (accesses, arrivals, fault batches) between full passes.
+  std::uint64_t interval_events = 4096;
+  /// Throw CheckFailure on the first violation so run_batch() fails the
+  /// affected run; false collects counts only (stats still report them).
+  bool fail_fast = true;
+};
+
 /// Top-level simulator configuration (Table I).
 struct SimConfig {
   GpuConfig gpu;
@@ -149,6 +161,7 @@ struct SimConfig {
   MemConfig mem;
   PolicyConfig policy;
   ThrashThrottleConfig mitigation;
+  AuditConfig audit;
   std::uint64_t rng_seed = 0x5eedc0ffee;
   bool collect_traces = false;   ///< enable Fig 2/3 style tracing hooks
   /// Host-side kernel launch overhead between consecutive launches (real

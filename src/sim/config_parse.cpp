@@ -227,6 +227,19 @@ const std::map<std::string, Setter>& setters() {
        [](SimConfig& c, const std::string& k, const std::string& v) {
          c.mitigation.pin_cooldown = parse_u64(k, v);
        }},
+      // Invariant auditing.
+      {"audit.enabled",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.audit.enabled = parse_bool(k, v);
+       }},
+      {"audit.interval_events",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.audit.interval_events = parse_u64(k, v);
+       }},
+      {"audit.fail_fast",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.audit.fail_fast = parse_bool(k, v);
+       }},
       // Misc.
       {"rng_seed",
        [](SimConfig& c, const std::string& k, const std::string& v) {
@@ -330,6 +343,9 @@ std::string to_config_string(const SimConfig& c) {
      << "policy.adaptive_write_migrates = " << b(c.policy.adaptive_write_migrates) << '\n'
      << "policy.historic_counters_override = " << b(c.policy.historic_counters_override)
      << '\n'
+     << "audit.enabled = " << b(c.audit.enabled) << '\n'
+     << "audit.interval_events = " << c.audit.interval_events << '\n'
+     << "audit.fail_fast = " << b(c.audit.fail_fast) << '\n'
      << "mitigation.enabled = " << b(c.mitigation.enabled) << '\n'
      << "mitigation.detect_faults = " << c.mitigation.detect_faults << '\n'
      << "mitigation.pin_cooldown = " << c.mitigation.pin_cooldown << '\n'

@@ -1,12 +1,16 @@
 #include "sim/event_queue.hpp"
 
-#include <stdexcept>
 #include <utility>
+
+#include "check/check.hpp"
 
 namespace uvmsim {
 
 void EventQueue::schedule_at(Cycle when, Action act) {
-  if (when < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  // Timestamp monotonicity: the clock only moves forward, so an event in the
+  // past could never fire (deterministic-replay invariant).
+  UVM_CHECK(when >= now_, "EventQueue: scheduling into the past; when=" << when
+                << " now=" << now_ << " pending=" << heap_.size());
   heap_.push(Node{when, next_seq_++, std::move(act)});
 }
 

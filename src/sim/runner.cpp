@@ -48,6 +48,8 @@ BatchResult run_batch(const std::vector<RunRequest>& requests, const BatchOption
     try {
       entry.result = run_request(requests[i]);
       entry.peak_footprint_bytes = entry.result.footprint_bytes;
+      entry.audit_passes = entry.result.stats.audit_passes;
+      entry.audit_violations = entry.result.stats.audit_violations;
     } catch (const std::exception& e) {
       entry.error = e.what();
       if (entry.error.empty()) entry.error = "unknown error";
@@ -75,6 +77,7 @@ BatchResult run_batch(const std::vector<RunRequest>& requests, const BatchOption
     if (!entry.ok()) ++batch.failed;
     batch.peak_footprint_bytes = std::max(batch.peak_footprint_bytes,
                                           entry.peak_footprint_bytes);
+    batch.audit_violations += entry.audit_violations;
   }
   return batch;
 }

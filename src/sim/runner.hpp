@@ -45,6 +45,8 @@ struct BatchEntry {
   std::string error;         ///< empty on success, exception text on failure
   double wall_ms = 0.0;      ///< host wall-clock time of this run
   std::uint64_t peak_footprint_bytes = 0;  ///< managed footprint of the run
+  std::uint64_t audit_passes = 0;          ///< invariant-audit passes (audit mode)
+  std::uint64_t audit_violations = 0;      ///< invariant violations observed
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
@@ -55,6 +57,7 @@ struct BatchResult {
   unsigned jobs = 1;                ///< worker threads actually used
   std::size_t failed = 0;           ///< entries with !ok()
   std::uint64_t peak_footprint_bytes = 0;  ///< max over entries
+  std::uint64_t audit_violations = 0;      ///< sum over entries (audit mode)
 
   [[nodiscard]] bool all_ok() const noexcept { return failed == 0; }
 };

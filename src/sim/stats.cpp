@@ -26,6 +26,9 @@ void SimStats::accumulate(const SimStats& o) noexcept {
   pages_thrashed += o.pages_thrashed;
   distinct_pages_thrashed += o.distinct_pages_thrashed;
   counter_halvings += o.counter_halvings;
+  audit_passes += o.audit_passes;
+  audit_violations += o.audit_violations;
+  if (last_violation.empty()) last_violation = o.last_violation;
   decide_migrate += o.decide_migrate;
   decide_remote += o.decide_remote;
   write_forced_migrations += o.write_forced_migrations;
@@ -54,6 +57,11 @@ std::string SimStats::report() const {
      << counter_halvings << '\n'
      << "timing:   kernel_cycles=" << kernel_cycles << " total_cycles="
      << total_cycles << '\n';
+  if (audit_passes > 0 || audit_violations > 0) {
+    os << "audit:    passes=" << audit_passes << " violations=" << audit_violations;
+    if (!last_violation.empty()) os << " last=\"" << last_violation << '"';
+    os << '\n';
+  }
   return os.str();
 }
 

@@ -41,6 +41,11 @@ struct SimStats {
   // Counter maintenance.
   std::uint64_t counter_halvings = 0;
 
+  // Invariant auditing (check/audit.hpp); populated when audit.enabled.
+  std::uint64_t audit_passes = 0;      ///< full cross-validation passes run
+  std::uint64_t audit_violations = 0;  ///< invariant violations detected
+  std::string last_violation;          ///< text of the most recent violation
+
   // Policy decisions.
   std::uint64_t decide_migrate = 0;
   std::uint64_t decide_remote = 0;

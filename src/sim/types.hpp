@@ -68,6 +68,16 @@ enum class Residence : std::uint8_t {
   kInFlight ///< migration H2D in progress; readers stall until arrival
 };
 
+/// Residence name for diagnostics (UVM_CHECK context, audit reports).
+[[nodiscard]] constexpr const char* to_cstr(Residence r) noexcept {
+  switch (r) {
+    case Residence::kHost: return "host";
+    case Residence::kDevice: return "device";
+    case Residence::kInFlight: return "in-flight";
+  }
+  return "?";
+}
+
 /// Kind of memory access issued by a warp.
 enum class AccessType : std::uint8_t { kRead, kWrite };
 

@@ -1,7 +1,19 @@
-// PcieFabric is header-only today; this TU anchors the module in the build
-// and is the home for future non-inline additions (e.g. link power states).
 #include "xfer/pcie.hpp"
 
 namespace uvmsim {
-// Intentionally empty.
+
+Cycle PcieFabric::transfer(PcieDir dir, Cycle now, Cycle not_before,
+                           std::uint64_t bytes) noexcept {
+  dma_bytes_[index(dir)] += bytes;
+  BandwidthRegulator& ch = channel(dir);
+  const Cycle start = now > not_before ? now : not_before;
+  return ch.acquire(start, bytes) + latency_;
+}
+
+Cycle PcieFabric::remote_transaction(PcieDir dir, Cycle now,
+                                     std::uint64_t bytes) noexcept {
+  remote_bytes_[index(dir)] += bytes;
+  return channel(dir).acquire(now, bytes);
+}
+
 }  // namespace uvmsim

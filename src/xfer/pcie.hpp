@@ -2,8 +2,13 @@
 // each a bandwidth-regulated channel with a fixed per-transfer latency.
 // Both bulk DMA migrations and zero-copy remote accesses share the channels,
 // so heavy remote traffic saturates exactly like the paper describes.
+//
+// The fabric keeps per-direction byte ledgers split by traffic class (bulk
+// DMA vs zero-copy); the invariant auditor cross-validates them against the
+// channel regulators and the driver's stats bookkeeping (byte conservation).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/config.hpp"
@@ -24,29 +29,38 @@ class PcieFabric {
   /// Reserve the channel for a bulk transfer of `bytes`, earliest at
   /// max(now, not_before). Returns the completion cycle (channel drain +
   /// per-transfer latency).
-  Cycle transfer(PcieDir dir, Cycle now, Cycle not_before, std::uint64_t bytes) noexcept {
-    BandwidthRegulator& ch = channel(dir);
-    const Cycle start = now > not_before ? now : not_before;
-    return ch.acquire(start, bytes) + latency_;
-  }
+  Cycle transfer(PcieDir dir, Cycle now, Cycle not_before, std::uint64_t bytes) noexcept;
 
   /// Zero-copy transaction: same channel occupancy, but the caller adds the
   /// remote-access latency itself (it differs from bulk-DMA latency).
-  Cycle remote_transaction(PcieDir dir, Cycle now, std::uint64_t bytes) noexcept {
-    return channel(dir).acquire(now, bytes);
-  }
+  Cycle remote_transaction(PcieDir dir, Cycle now, std::uint64_t bytes) noexcept;
 
   [[nodiscard]] const BandwidthRegulator& h2d() const noexcept { return h2d_; }
   [[nodiscard]] const BandwidthRegulator& d2h() const noexcept { return d2h_; }
   [[nodiscard]] Cycle latency() const noexcept { return latency_; }
 
+  /// Bulk-DMA bytes ever accepted in `dir` (migrations, writebacks).
+  [[nodiscard]] std::uint64_t dma_bytes(PcieDir dir) const noexcept {
+    return dma_bytes_[index(dir)];
+  }
+  /// Zero-copy bytes ever accepted in `dir` (remote loads/stores, wire
+  /// overhead included).
+  [[nodiscard]] std::uint64_t remote_bytes(PcieDir dir) const noexcept {
+    return remote_bytes_[index(dir)];
+  }
+
  private:
+  [[nodiscard]] static constexpr std::size_t index(PcieDir dir) noexcept {
+    return dir == PcieDir::kHostToDevice ? 0 : 1;
+  }
   [[nodiscard]] BandwidthRegulator& channel(PcieDir dir) noexcept {
     return dir == PcieDir::kHostToDevice ? h2d_ : d2h_;
   }
   BandwidthRegulator h2d_;
   BandwidthRegulator d2h_;
   Cycle latency_;
+  std::uint64_t dma_bytes_[2] = {0, 0};
+  std::uint64_t remote_bytes_[2] = {0, 0};
 };
 
 }  // namespace uvmsim

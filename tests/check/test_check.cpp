@@ -1,0 +1,55 @@
+// The always-on cheap tier: UVM_CHECK must stay active in release builds
+// (unlike assert), throw a typed failure that existing std::logic_error
+// handlers already catch, and carry the failed expression plus formatted
+// context in the message. Defining NDEBUG before the include proves the
+// macro does not ride on assert().
+#define NDEBUG 1
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace uvmsim {
+namespace {
+
+TEST(UvmCheck, PassingConditionHasNoEffect) {
+  int evaluations = 0;
+  UVM_CHECK(++evaluations == 1, "never formatted " << evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(UvmCheck, FailureThrowsCheckFailure) {
+  EXPECT_THROW(UVM_CHECK(1 + 1 == 3, "math broke"), CheckFailure);
+}
+
+TEST(UvmCheck, CheckFailureIsALogicError) {
+  // Existing tests expect std::logic_error from illegal state transitions;
+  // the UVM_CHECK conversion must not change their observable type.
+  EXPECT_THROW(UVM_CHECK(false, "compat"), std::logic_error);
+}
+
+TEST(UvmCheck, MessageCarriesExpressionAndContext) {
+  std::string message;
+  const int block = 42;
+  try {
+    UVM_CHECK(block < 0, "block " << block << " state=" << "device");
+  } catch (const CheckFailure& e) {
+    message = e.what();
+  }
+  EXPECT_NE(message.find("block < 0"), std::string::npos) << message;
+  EXPECT_NE(message.find("block 42 state=device"), std::string::npos) << message;
+  EXPECT_NE(message.find("UVM_CHECK failed"), std::string::npos) << message;
+}
+
+TEST(UvmCheck, SurvivesNdebug) {
+  // NDEBUG is defined at the top of this TU; the check must still fire.
+#ifndef NDEBUG
+  FAIL() << "test setup: NDEBUG should be defined in this TU";
+#endif
+  EXPECT_THROW(UVM_CHECK(false, "active under NDEBUG"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,56 @@
+// Strict command-line numeric parsing shared by the uvmsim tools.
+//
+// std::atof / std::atoi silently map garbage to 0, so a typo'd
+// "--scale 0..5" or "--ts 8x" used to run a degenerate experiment instead
+// of failing. These parsers accept a token only when the ENTIRE string is a
+// finite in-range number; callers layer their own domain checks (> 0,
+// bounded, ...) on top.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+namespace uvmsim::tools {
+
+/// Whole-token finite double. Rejects empty, trailing junk, inf/nan,
+/// overflow.
+inline bool parse_double(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(v)) return false;
+  out = v;
+  return true;
+}
+
+/// Whole-token decimal unsigned 64-bit. Rejects a leading '-' explicitly:
+/// strtoull would happily wrap "-1" to 2^64-1.
+inline bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+inline bool parse_u32(const char* s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > UINT32_MAX) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+inline bool parse_unsigned(const char* s, unsigned& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > UINT_MAX) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+}  // namespace uvmsim::tools

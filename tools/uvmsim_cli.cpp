@@ -18,6 +18,8 @@
 
 #include <uvmsim/uvmsim.hpp>
 
+#include "flag_parse.hpp"
+
 namespace {
 
 using namespace uvmsim;
@@ -42,6 +44,8 @@ void usage() {
       "  --replay FILE      replay a captured trace instead of a workload\n"
       "  --timeline FILE    write periodic occupancy/traffic samples to FILE\n"
       "  --mitigation       enable nvidia-uvm-style thrash throttling\n"
+      "  --audit            enable the invariant auditor (docs/INVARIANTS.md);\n"
+      "                     tune with --set audit.interval_events=N\n"
       "  --set K=V          set any SimConfig key (repeatable; see --keys)\n"
       "  --config-file F    load key=value settings from a file\n"
       "  --keys             list every settable configuration key\n"
@@ -90,6 +94,35 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Strict numeric operands: a malformed number aborts instead of being
+    // atof'd to 0 and silently running the wrong experiment.
+    auto next_double = [&]() -> double {
+      const char* v = next();
+      double out = 0.0;
+      if (!tools::parse_double(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(), v);
+        std::exit(2);
+      }
+      return out;
+    };
+    auto next_u64 = [&]() -> std::uint64_t {
+      const char* v = next();
+      std::uint64_t out = 0;
+      if (!tools::parse_u64(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(), v);
+        std::exit(2);
+      }
+      return out;
+    };
+    auto next_u32 = [&]() -> std::uint32_t {
+      const char* v = next();
+      std::uint32_t out = 0;
+      if (!tools::parse_u32(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(), v);
+        std::exit(2);
+      }
+      return out;
+    };
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -124,19 +157,19 @@ int main(int argc, char** argv) {
       }
       cfg.mem.prefetcher = *p;
     } else if (arg == "--oversub") {
-      oversub = std::atof(next());
+      oversub = next_double();
     } else if (arg == "--capacity-mb") {
-      cfg.mem.device_capacity_bytes = static_cast<std::uint64_t>(std::atoll(next())) << 20;
+      cfg.mem.device_capacity_bytes = next_u64() << 20;
     } else if (arg == "--scale") {
-      params.scale = std::atof(next());
+      params.scale = next_double();
     } else if (arg == "--ts") {
-      cfg.policy.static_threshold = static_cast<std::uint32_t>(std::atoi(next()));
+      cfg.policy.static_threshold = next_u32();
     } else if (arg == "-p" || arg == "--penalty") {
-      cfg.policy.migration_penalty = static_cast<std::uint64_t>(std::atoll(next()));
+      cfg.policy.migration_penalty = next_u64();
     } else if (arg == "--seed") {
-      params.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      params.seed = next_u64();
     } else if (arg == "--iterations") {
-      params.iterations = static_cast<std::uint32_t>(std::atoi(next()));
+      params.iterations = next_u32();
     } else if (arg == "--graph") {
       params.graph = next();
     } else if (arg == "--config") {
@@ -149,6 +182,8 @@ int main(int argc, char** argv) {
       timeline_path = next();
     } else if (arg == "--mitigation") {
       cfg.mitigation.enabled = true;
+    } else if (arg == "--audit") {
+      cfg.audit.enabled = true;
     } else if (arg == "--l2") {
       cfg.gpu.l2.enabled = true;
     } else if (arg == "--set") {

@@ -10,17 +10,15 @@
 // Runs execute on the parallel batch engine (sim/runner.hpp). Rows are
 // written in grid order after the batch completes, and every run is fully
 // seeded by its request, so the CSV is byte-identical for any --jobs value.
-#include <cerrno>
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include <uvmsim/uvmsim.hpp>
 
+#include "flag_parse.hpp"
 #include "report/run_csv.hpp"
 
 namespace {
@@ -41,27 +39,6 @@ int usage_error(const char* flag, const char* value) {
     std::fprintf(stderr, "missing value for %s\n", flag);
   std::fputs(kUsage, stderr);
   return 2;
-}
-
-/// Strict numeric parsing — the whole token must be a finite number
-/// (std::atof silently maps garbage to 0.0, which used to turn a typo'd
-/// --scale into a degenerate sweep).
-bool parse_double(const char* s, double& out) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(v)) return false;
-  out = v;
-  return true;
-}
-
-bool parse_unsigned(const char* s, unsigned& out) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long v = std::strtoul(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE || v > 1u << 20) return false;
-  out = static_cast<unsigned>(v);
-  return true;
 }
 
 SimConfig scheme_cfg(PolicyKind policy) {
@@ -87,11 +64,13 @@ int main(int argc, char** argv) {
       if (value == nullptr) return usage_error("--out", nullptr);
       out_path = argv[++i];
     } else if (arg == "--scale") {
-      if (value == nullptr || !parse_double(value, scale) || scale <= 0.0)
+      // Strict parse (tools/flag_parse.hpp): atof would map garbage to 0.
+      if (value == nullptr || !tools::parse_double(value, scale) || scale <= 0.0)
         return usage_error("--scale", value);
       ++i;
     } else if (arg == "--jobs") {
-      if (value == nullptr || !parse_unsigned(value, jobs) || jobs == 0)
+      if (value == nullptr || !tools::parse_unsigned(value, jobs) || jobs == 0 ||
+          jobs > 1u << 20)
         return usage_error("--jobs", value);
       ++i;
     } else if (arg == "--quick") {
