@@ -1,0 +1,277 @@
+// perf_hotpath: microbenchmark of the simulator's two hottest paths — victim
+// selection under heavy oversubscription (eviction-dominated bfs/sssp runs)
+// and raw event-kernel churn — reported as JSON on stdout. scripts/bench.sh
+// runs this binary from the current tree and from a pre-overhaul baseline
+// checkout and combines both into BENCH_hotpath.json, so this file must only
+// use APIs that exist in both trees (run_request, EventQueue, SimStats).
+//
+//   perf_hotpath [--smoke] [--label NAME]
+//
+// All runs are fully seeded; the numbers below are deterministic up to
+// wall-clock noise.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <uvmsim/uvmsim.hpp>
+
+#include "mem/eviction.hpp"
+#include "sim/rng.hpp"
+
+// The incremental eviction index only exists post-overhaul; the baseline
+// checkout falls back to the reference scan (which is the point: same loop,
+// two victim-selection implementations).
+#if __has_include("mem/eviction_index.hpp")
+#define UVMSIM_HAS_EVICTION_INDEX 1
+#endif
+
+namespace {
+
+using namespace uvmsim;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+/// Eviction-heavy configuration: adaptive policy + access-counter LFU at
+/// 150 % oversubscription, the regime where select_victims dominates.
+SimConfig eviction_heavy_cfg() {
+  SimConfig cfg;
+  cfg.policy.policy = PolicyKind::kAdaptive;
+  cfg.mem.eviction = EvictionKind::kLfu;
+  return cfg;
+}
+
+struct SimRow {
+  std::string workload;
+  double oversub = 0.0;
+  double wall_ms = 0.0;
+  std::uint64_t far_faults = 0;
+  std::uint64_t evictions = 0;
+  Cycle total_cycles = 0;
+};
+
+SimRow bench_sim(const std::string& workload, double oversub, double scale) {
+  RunRequest req;
+  req.workload = workload;
+  req.params.scale = scale;
+  req.config = eviction_heavy_cfg();
+  req.oversub = oversub;
+
+  const auto t0 = Clock::now();
+  const RunResult res = run_request(req);
+  SimRow row;
+  row.workload = workload;
+  row.oversub = oversub;
+  row.wall_ms = ms_since(t0);
+  row.far_faults = res.stats.far_faults;
+  row.evictions = res.stats.evictions;
+  row.total_cycles = res.stats.total_cycles;
+  return row;
+}
+
+struct EvictRow {
+  std::uint64_t selections = 0;
+  std::uint64_t victims = 0;
+  double wall_ms = 0.0;
+};
+
+/// The eviction-heavy oversubscribed steady state, distilled: a large device
+/// of `kChunks` sparsely-populated large pages (irregular workloads leave
+/// chunks partial) where every fault must select a victim chunk, evict it,
+/// and migrate its blocks back in — one select_victims per iteration under
+/// LFU (the paper's access-counter scheme), with live counter/touch traffic
+/// so recency and frequency keep changing. Sparse residency keeps the
+/// per-eviction block shuffling small, so the victim-selection scan itself
+/// dominates the loop — exactly the regime the incremental index targets.
+EvictRow bench_eviction_selection(std::uint64_t iters) {
+  constexpr ChunkNum kChunks = 2048;       // 4 GB footprint: a scan-heavy device
+  constexpr std::uint32_t kSparse = 4;     // resident blocks per chunk
+  AddressSpace space;
+  space.allocate("a", kChunks * kLargePageSize);
+  BlockTable table(space);
+  AccessCounterTable counters(div_ceil(space.span_end(), std::uint64_t{1} << 16), 16);
+  EvictionManager mgr(EvictionKind::kLfu, kLargePageSize);
+#ifdef UVMSIM_HAS_EVICTION_INDEX
+  mgr.attach_index(table, counters);
+#endif
+  Rng rng(0x5EED);
+  Cycle now = 1;
+  for (ChunkNum c = 0; c < kChunks; ++c) {
+    const BlockNum first = first_block_of_chunk(c);
+    for (std::uint32_t k = 0; k < kSparse; ++k) {
+      table.mark_in_flight(first + k);
+      table.mark_resident(first + k, now);
+    }
+  }
+
+  EvictRow row;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    now += 1 + rng.below(3);
+    for (int k = 0; k < 4; ++k) {
+      const ChunkNum c = rng.below(kChunks);
+      const BlockNum b = first_block_of_chunk(c) + rng.below(kSparse);
+      table.touch(b, rng.chance(0.25) ? AccessType::kWrite : AccessType::kRead, now);
+      counters.record_access(addr_of_block(b),
+                             1 + static_cast<std::uint32_t>(rng.below(8)));
+    }
+    const ChunkNum fc = rng.below(table.num_chunks());
+    const std::vector<BlockNum> victims =
+        mgr.select_victims(table, counters, VictimQuery{fc, true, now, 512});
+    for (const BlockNum v : victims) {
+      table.mark_evicted(v);
+      counters.record_round_trip(addr_of_block(v));
+    }
+    // Re-migrate immediately: the device stays full, as under real
+    // oversubscription where every eviction makes room for a fault. The
+    // faulted-in blocks are accessed (that's why they came back), which
+    // rotates the victim choice across chunks instead of re-evicting the
+    // same frequency minimum forever.
+    for (const BlockNum v : victims) {
+      table.mark_in_flight(v);
+      table.mark_resident(v, now);
+      counters.record_access(addr_of_block(v),
+                             1 + static_cast<std::uint32_t>(rng.below(16)));
+    }
+    row.victims += victims.size();
+  }
+  row.wall_ms = ms_since(t0);
+  row.selections = iters;
+  return row;
+}
+
+struct ChurnRow {
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+};
+
+/// Raw event-kernel churn at the simulator's steady-state queue depth: a few
+/// hundred events stay pending (each firing reschedules its replacement with
+/// a varied delay) — the access pattern the fault/transfer engines induce.
+/// The action carries a 32-byte capture, the driver's `[this, block, cycle,
+/// type]`-style size class that the event kernel's inline storage is sized
+/// for (and that overflows std::function's small-buffer optimization).
+struct ChurnCtx {
+  EventQueue q;
+  std::uint64_t fired = 0;
+  std::uint64_t target = 0;
+  std::uint64_t checksum = 0;
+
+  struct Tick {
+    ChurnCtx* ctx;
+    std::uint64_t block;
+    Cycle stamp;
+    std::uint64_t salt;
+    void operator()() const { ctx->fire(block ^ salt, stamp); }
+  };
+
+  void fire(std::uint64_t token, Cycle stamp) {
+    ++fired;
+    checksum += token ^ stamp;
+    if (fired + q.pending() < target) {
+      // Vary the delay so the heap is reordered, not just rotated.
+      q.schedule_in(1 + (fired * 7) % 13,
+                    Tick{this, fired, q.now(), fired * 0x9E3779B97F4A7C15ull});
+    }
+  }
+};
+
+ChurnRow bench_event_churn(std::uint64_t target_events) {
+  constexpr std::uint64_t kDepth = 256;
+  ChurnCtx ctx;
+  ctx.target = target_events;
+  const auto t0 = Clock::now();
+  for (std::uint64_t lane = 0; lane < kDepth; ++lane) {
+    ctx.q.schedule_at(static_cast<Cycle>(lane % 5),
+                      ChurnCtx::Tick{&ctx, lane, 0, lane});
+  }
+  ctx.q.run();
+  ChurnRow row;
+  row.events = ctx.q.executed();
+  row.wall_ms = ms_since(t0);
+  if (ctx.checksum == 0xDEADBEEF) std::fprintf(stderr, "!\n");  // keep live
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string label = "current";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_hotpath [--smoke] [--label NAME]\n");
+      return 2;
+    }
+  }
+
+  const double scale = smoke ? 0.05 : 0.3;
+  const std::uint64_t churn_events = smoke ? 400000 : 4000000;
+  const std::uint64_t evict_iters = smoke ? 1500 : 15000;
+
+  std::vector<SimRow> rows;
+  for (const char* wl : {"bfs", "sssp"}) {
+    for (const double oversub : {1.25, 1.5}) {
+      rows.push_back(bench_sim(wl, oversub, scale));
+    }
+  }
+  const EvictRow evict = bench_eviction_selection(evict_iters);
+  const ChurnRow churn = bench_event_churn(churn_events);
+
+  double sim_wall_ms = 0.0;
+  std::uint64_t faults = 0;
+  for (const SimRow& r : rows) {
+    sim_wall_ms += r.wall_ms;
+    faults += r.far_faults;
+  }
+
+  std::printf("{\n  \"label\": \"%s\",\n  \"smoke\": %s,\n  \"scale\": %g,\n",
+              label.c_str(), smoke ? "true" : "false", scale);
+  std::printf("  \"sim_runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimRow& r = rows[i];
+    std::printf("    {\"workload\": \"%s\", \"oversub\": %.2f, \"wall_ms\": %.2f, "
+                "\"far_faults\": %llu, \"evictions\": %llu, \"total_cycles\": %llu}%s\n",
+                r.workload.c_str(), r.oversub, r.wall_ms,
+                static_cast<unsigned long long>(r.far_faults),
+                static_cast<unsigned long long>(r.evictions),
+                static_cast<unsigned long long>(r.total_cycles),
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"sim_wall_ms\": %.2f,\n", sim_wall_ms);
+  std::printf("  \"eviction_microbench\": {\"chunks\": 2048, \"selections\": %llu, "
+              "\"victims\": %llu, \"wall_ms\": %.2f, \"selections_per_sec\": %.0f},\n",
+              static_cast<unsigned long long>(evict.selections),
+              static_cast<unsigned long long>(evict.victims), evict.wall_ms,
+              evict.wall_ms > 0
+                  ? static_cast<double>(evict.selections) * 1000.0 / evict.wall_ms
+                  : 0.0);
+  std::printf("  \"faults_per_sec\": %.0f,\n",
+              sim_wall_ms > 0 ? static_cast<double>(faults) * 1000.0 / sim_wall_ms : 0.0);
+  std::printf("  \"event_queue\": {\"events\": %llu, \"wall_ms\": %.2f, "
+              "\"events_per_sec\": %.0f},\n",
+              static_cast<unsigned long long>(churn.events), churn.wall_ms,
+              churn.wall_ms > 0
+                  ? static_cast<double>(churn.events) * 1000.0 / churn.wall_ms
+                  : 0.0);
+  std::printf("  \"peak_rss_kb\": %ld\n}\n", peak_rss_kb());
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "mem/block_table.hpp"
 #include "mem/device_memory.hpp"
 #include "mem/eviction.hpp"
+#include "mem/eviction_index.hpp"
 #include "mitigation/thrash_throttle.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "policy/migration_policy.hpp"

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Hot-path perf harness: runs bench/perf_hotpath (fixed seeds) from the
+# current tree and, unless skipped, from a pre-overhaul baseline checkout,
+# then writes BENCH_hotpath.json recording both runs plus the speedups —
+# the perf trajectory every future PR has to beat (docs/PERF.md).
+#
+#   scripts/bench.sh [--smoke] [--out FILE] [--baseline-ref REF] [--skip-baseline]
+#
+# --smoke        small workloads/iteration counts (CI); implies
+#                --skip-baseline unless --baseline-ref is given explicitly
+# --baseline-ref git ref to benchmark against (default: HEAD — i.e. the last
+#                commit, which excludes uncommitted changes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+OUT="BENCH_hotpath.json"
+BASE_REF=""
+SKIP_BASE=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE="--smoke" ;;
+    --out) OUT="$2"; shift ;;
+    --baseline-ref) BASE_REF="$2"; shift ;;
+    --skip-baseline) SKIP_BASE=1 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+if [[ -n "$SMOKE" && -z "$BASE_REF" ]]; then
+  SKIP_BASE=1
+fi
+
+echo "== bench: building current tree =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target perf_hotpath >/dev/null
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench: running current perf_hotpath $SMOKE =="
+./build/bench/perf_hotpath $SMOKE --label current > "$TMP/current.json"
+
+if [[ "$SKIP_BASE" -eq 0 ]]; then
+  REF="${BASE_REF:-HEAD}"
+  echo "== bench: building baseline ($REF) =="
+  WT="$TMP/baseline-tree"
+  git worktree add --detach "$WT" "$REF" >/dev/null
+  # The bench predates the baseline ref: graft it (it only uses APIs common
+  # to both trees; the eviction index is feature-detected via __has_include).
+  cp bench/perf_hotpath.cpp "$WT/bench/"
+  grep -q 'uvmsim_bench(perf_hotpath)' "$WT/bench/CMakeLists.txt" ||
+    echo 'uvmsim_bench(perf_hotpath)' >> "$WT/bench/CMakeLists.txt"
+  cmake -B "$WT/build" -S "$WT" >/dev/null
+  cmake --build "$WT/build" -j"$(nproc)" --target perf_hotpath >/dev/null
+  echo "== bench: running baseline perf_hotpath $SMOKE =="
+  "$WT/build/bench/perf_hotpath" $SMOKE --label "baseline:$REF" > "$TMP/baseline.json"
+  git worktree remove --force "$WT" >/dev/null
+fi
+
+python3 - "$TMP" "$OUT" <<'PY'
+import json, sys, os
+tmp, out = sys.argv[1], sys.argv[2]
+with open(os.path.join(tmp, "current.json")) as f:
+    current = json.load(f)
+baseline = None
+base_path = os.path.join(tmp, "baseline.json")
+if os.path.exists(base_path):
+    with open(base_path) as f:
+        baseline = json.load(f)
+doc = {"generated_by": "scripts/bench.sh", "smoke": current.get("smoke"),
+       "current": current, "baseline": baseline}
+if baseline is not None:
+    def ratio(a, b):
+        return round(a / b, 2) if b else None
+    doc["speedup"] = {
+        "eviction_microbench": ratio(baseline["eviction_microbench"]["wall_ms"],
+                                     current["eviction_microbench"]["wall_ms"]),
+        "event_queue": ratio(baseline["event_queue"]["wall_ms"],
+                             current["event_queue"]["wall_ms"]),
+        "sim_wall": ratio(baseline["sim_wall_ms"], current["sim_wall_ms"]),
+    }
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+if baseline is not None:
+    print("speedup:", doc["speedup"])
+PY

@@ -34,6 +34,26 @@ for preset in "${presets[@]}"; do
       --oversub 1.3333 --scale 0.1 --audit | grep '^audit:'
 done
 
+echo "==> perf smoke (scripts/bench.sh --smoke)"
+scripts/bench.sh --smoke --out build/BENCH_hotpath_smoke.json
+python3 - build/BENCH_hotpath_smoke.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("eviction_microbench", "event_queue", "sim_wall_ms"):
+    assert key in doc["current"], f"BENCH_hotpath missing {key}"
+print("perf smoke: BENCH_hotpath JSON well-formed")
+PY
+
+# Victim-parity audit: the auditor cross-validates the incremental eviction
+# index against the reference scan (check_eviction_index); any divergence is
+# a violation and fails the pipeline.
+echo "==> victim-parity audit smoke"
+build/tools/uvmsim --workload sssp --policy adaptive \
+    --oversub 1.3333 --scale 0.1 --audit | grep '^audit:' | tee /tmp/parity_audit.log
+grep -q 'violations=0' /tmp/parity_audit.log || {
+  echo "victim-parity audit reported violations"; exit 1; }
+
 echo "==> determinism lint"
 tools/lint_determinism
 

@@ -53,6 +53,9 @@ AuditReport InvariantAuditor::audit_now(const AuditScope& s) {
   if (s.table != nullptr && s.device != nullptr) check_residency(s, r);
   if (s.table != nullptr && s.counters != nullptr && s.eviction != nullptr) {
     check_eviction_membership(s, r);
+    if (s.eviction->index().attached_to(s.table, s.counters)) {
+      check_eviction_index(s, r);
+    }
   }
   if (s.counters != nullptr) check_counters(s, r);
   if (s.policy_cfg != nullptr) check_threshold(s, r);
@@ -209,6 +212,102 @@ void InvariantAuditor::check_eviction_membership(const AuditScope& s,
          << table.chunk(victim_chunk).resident_blocks;
       return text(os);
     });
+  }
+}
+
+// Incremental eviction index (PERF.md): the hook-maintained structures must
+// agree with a from-scratch recomputation —
+//   * membership: a chunk is in the recency list iff it has resident blocks;
+//   * order: the list is sorted ascending by (last_access, chunk) with
+//     consistent prev/next wiring and an accurate size;
+//   * aggregates: unless a global halving left them stale, the running
+//     per-chunk frequencies equal LfuEviction::chunk_frequency;
+//   * victim parity: the fast-path selection returns exactly the reference
+//     scan's victim blocks, probed without and with the protect window.
+void InvariantAuditor::check_eviction_index(const AuditScope& s, AuditReport& r) const {
+  const BlockTable& table = *s.table;
+  const EvictionIndex& idx = s.eviction->index();
+
+  std::uint64_t listed = 0;
+  for (ChunkNum c = 0; c < table.num_chunks(); ++c) {
+    const bool resident = table.chunk(c).resident_blocks > 0;
+    if (idx.in_list(c)) ++listed;
+    expect(r, idx.in_list(c) == resident, [&] {
+      std::ostringstream os;
+      os << "eviction-index: chunk " << c << " is "
+         << (idx.in_list(c) ? "listed" : "unlisted") << " but has "
+         << table.chunk(c).resident_blocks << " resident blocks";
+      return text(os);
+    });
+  }
+  expect(r, idx.size() == listed, [&] {
+    std::ostringstream os;
+    os << "eviction-index: size " << idx.size() << " != " << listed
+       << " listed chunks";
+    return text(os);
+  });
+
+  std::uint64_t walked = 0;
+  ChunkNum prev = kNilChunk;
+  for (ChunkNum c = idx.head(); c != kNilChunk; c = idx.next_of(c)) {
+    ++walked;
+    expect(r, idx.prev_of(c) == prev, [&] {
+      std::ostringstream os;
+      os << "eviction-index: chunk " << c << " prev link " << idx.prev_of(c)
+         << " != walk predecessor " << prev;
+      return text(os);
+    });
+    if (prev != kNilChunk) {
+      const Cycle pla = table.chunk(prev).last_access;
+      const Cycle cla = table.chunk(c).last_access;
+      expect(r, pla < cla || (pla == cla && prev < c), [&] {
+        std::ostringstream os;
+        os << "eviction-index: list unsorted, chunk " << prev << " (la=" << pla
+           << ") precedes chunk " << c << " (la=" << cla << ')';
+        return text(os);
+      });
+    }
+    if (walked > idx.size()) break;  // cycle guard; size mismatch reported above
+    prev = c;
+  }
+  expect(r, walked == idx.size() && idx.tail() == prev, [&] {
+    std::ostringstream os;
+    os << "eviction-index: walk visited " << walked << " of " << idx.size()
+       << " chunks (tail=" << idx.tail() << ", last=" << prev << ')';
+    return text(os);
+  });
+
+  if (!idx.frequencies_stale()) {
+    for (ChunkNum c = idx.head(); c != kNilChunk; c = idx.next_of(c)) {
+      const std::uint64_t expected =
+          LfuEviction::chunk_frequency(c, table, *s.counters);
+      expect(r, idx.frequency(c) == expected, [&] {
+        std::ostringstream os;
+        os << "eviction-index: chunk " << c << " running frequency "
+           << idx.frequency(c) << " != recomputed " << expected;
+        return text(os);
+      });
+    }
+  }
+
+  // Victim parity: the fast path must reproduce the reference scan exactly.
+  const Cycle now = s.queue != nullptr ? s.queue->now() : 0;
+  for (const Cycle window : {Cycle{0}, s.protect_window}) {
+    const VictimQuery q{0, false, now, window};
+    const std::vector<BlockNum> fast =
+        s.eviction->select_victims(table, *s.counters, q);
+    const std::vector<BlockNum> ref =
+        s.eviction->select_victims_reference(table, *s.counters, q);
+    expect(r, fast == ref, [&] {
+      std::ostringstream os;
+      os << "eviction-index: victim parity broken under window " << window
+         << " — fast path picked " << fast.size() << " blocks (first "
+         << (fast.empty() ? kNilChunk : fast.front()) << "), reference "
+         << ref.size() << " (first " << (ref.empty() ? kNilChunk : ref.front())
+         << ')';
+      return text(os);
+    });
+    if (window == s.protect_window) break;  // windows coincide; probe once
   }
 }
 

@@ -61,6 +61,9 @@ struct AuditScope {
   /// the fault engine (no transfer, no device frame yet).
   std::uint64_t queued_fault_blocks = 0;
   bool historic_counters = false;      ///< counters survive migration (paper)
+  /// The driver's eviction protect window, so the victim-parity check probes
+  /// the same busy/non-busy classification the hot path uses.
+  Cycle protect_window = 0;
 };
 
 /// Outcome of one full audit pass.
@@ -97,6 +100,7 @@ class InvariantAuditor {
 
   void check_residency(const AuditScope& s, AuditReport& r) const;
   void check_eviction_membership(const AuditScope& s, AuditReport& r) const;
+  void check_eviction_index(const AuditScope& s, AuditReport& r) const;
   void check_counters(const AuditScope& s, AuditReport& r);
   void check_threshold(const AuditScope& s, AuditReport& r) const;
   void check_pcie(const AuditScope& s, AuditReport& r) const;

@@ -24,6 +24,9 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
       audit_(cfg.audit.enabled ? std::make_unique<InvariantAuditor>(cfg.audit) : nullptr),
       pcie_(cfg),
       dram_(cfg.dram_bytes_per_cycle()) {
+  // Wire the incremental eviction index to this driver's table/counter pair
+  // (both members live at stable addresses for the driver's lifetime).
+  eviction_.attach_index(table_, counters_);
   if (shared_host_mem != nullptr) {
     host_mem_ = shared_host_mem;
   } else {
@@ -64,6 +67,7 @@ AuditScope UvmDriver::audit_scope() const noexcept {
   s.in_flight_blocks = in_flight_;
   s.queued_fault_blocks = queued_fault_blocks_;
   s.historic_counters = cfg_.policy.historic_counters();
+  s.protect_window = cfg_.mem.eviction_protect_cycles;
   return s;
 }
 
@@ -213,9 +217,11 @@ void UvmDriver::process_batch() {
 }
 
 bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_ready) {
-  const std::vector<BlockNum> victims = eviction_.select_victims(
+  eviction_.select_victims_into(
       table_, counters_,
-      VictimQuery{faulting_chunk, true, now, cfg_.mem.eviction_protect_cycles});
+      VictimQuery{faulting_chunk, true, now, cfg_.mem.eviction_protect_cycles},
+      victim_buf_);
+  const std::vector<BlockNum>& victims = victim_buf_;
   if (victims.empty()) return false;
 
   ++stats_.evictions;

@@ -153,6 +153,7 @@ class UvmDriver {
   std::uint32_t gpu_id_ = 0;
 
   std::vector<BlockNum> expand_buf_;
+  std::vector<BlockNum> victim_buf_;  ///< reused across evict_for calls
 };
 
 }  // namespace uvmsim

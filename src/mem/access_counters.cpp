@@ -3,11 +3,19 @@
 #include <algorithm>
 
 #include "check/check.hpp"
+#include "mem/eviction_index.hpp"
 
 namespace uvmsim {
 
 AccessCounterTable::AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift)
     : regs_(units, 0u), unit_shift_(unit_shift) {}
+
+void AccessCounterTable::notify_count(std::uint64_t u, std::uint32_t old_count,
+                                      std::uint32_t new_count) {
+  if (index_ != nullptr && old_count != new_count) {
+    index_->on_unit_count(u, old_count, new_count);
+  }
+}
 
 std::uint32_t AccessCounterTable::record_access(VirtAddr a, std::uint32_t n) {
   const std::uint64_t u = unit_of(a);
@@ -22,8 +30,28 @@ std::uint32_t AccessCounterTable::record_access(VirtAddr a, std::uint32_t n) {
   // Clamp-at-saturation: the global halving must have left headroom.
   UVM_CHECK(cnt < kCountMax, "AccessCounterTable: unit " << u << " count " << cnt
                 << " not clamped below saturation (halvings=" << halvings_ << ')');
+  const std::uint32_t old_count = regs_[u] & kCountMax;
   regs_[u] = (trips << kCountBits) | static_cast<std::uint32_t>(cnt);
+  notify_count(u, old_count, static_cast<std::uint32_t>(cnt));
   return static_cast<std::uint32_t>(cnt);
+}
+
+void AccessCounterTable::reset_count(VirtAddr a) {
+  const std::uint64_t u = unit_of(a);
+  const std::uint32_t old_count = regs_[u] & kCountMax;
+  regs_[u] &= ~kCountMax;
+  notify_count(u, old_count, 0);
+}
+
+void AccessCounterTable::reset_range(VirtAddr addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = unit_of(addr);
+  const std::uint64_t last = unit_of(addr + bytes - 1);
+  for (std::uint64_t u = first; u <= last && u < regs_.size(); ++u) {
+    const std::uint32_t old_count = regs_[u] & kCountMax;
+    regs_[u] &= ~kCountMax;
+    notify_count(u, old_count, 0);
+  }
 }
 
 void AccessCounterTable::record_round_trip(VirtAddr a) {
@@ -58,6 +86,9 @@ void AccessCounterTable::halve_all() noexcept {
     r = (trips << kCountBits) | cnt;
   }
   ++halvings_;
+  // A global rescale moves every register at once; the index rebuilds its
+  // aggregates lazily instead of absorbing per-unit deltas.
+  if (index_ != nullptr) index_->on_rescaled();
 }
 
 }  // namespace uvmsim

@@ -14,6 +14,8 @@
 
 namespace uvmsim {
 
+class EvictionIndex;
+
 class AccessCounterTable {
  public:
   static constexpr std::uint32_t kCountBits = 27;
@@ -56,19 +58,10 @@ class AccessCounterTable {
   /// Clear the access-count field of the unit holding `a` (round trips are
   /// preserved). Volta-style counters reset when the page migrates; the
   /// paper's historic counters never do.
-  void reset_count(VirtAddr a) noexcept {
-    regs_[unit_of(a)] &= ~kCountMax;
-  }
+  void reset_count(VirtAddr a);
 
   /// Clear the count fields of every unit covering [addr, addr+bytes).
-  void reset_range(VirtAddr addr, std::uint64_t bytes) noexcept {
-    if (bytes == 0) return;
-    const std::uint64_t first = unit_of(addr);
-    const std::uint64_t last = unit_of(addr + bytes - 1);
-    for (std::uint64_t u = first; u <= last && u < regs_.size(); ++u) {
-      regs_[u] &= ~kCountMax;
-    }
-  }
+  void reset_range(VirtAddr addr, std::uint64_t bytes);
 
   /// Number of global halvings performed (exposed for stats/tests).
   [[nodiscard]] std::uint64_t halvings() const noexcept { return halvings_; }
@@ -76,10 +69,17 @@ class AccessCounterTable {
   /// Halve every counter and round-trip field (also used on saturation).
   void halve_all() noexcept;
 
+  /// Wire the incremental eviction index that tracks count-field deltas
+  /// (nullptr detaches). Owned by EvictionManager.
+  void set_eviction_index(EvictionIndex* index) noexcept { index_ = index; }
+
  private:
+  void notify_count(std::uint64_t u, std::uint32_t old_count, std::uint32_t new_count);
+
   std::vector<std::uint32_t> regs_;
   std::uint32_t unit_shift_;
   std::uint64_t halvings_ = 0;
+  EvictionIndex* index_ = nullptr;
 };
 
 }  // namespace uvmsim

@@ -1,6 +1,7 @@
 #include "mem/block_table.hpp"
 
 #include "check/check.hpp"
+#include "mem/eviction_index.hpp"
 
 namespace uvmsim {
 
@@ -24,6 +25,7 @@ void BlockTable::touch(BlockNum b, AccessType type, Cycle now) {
   ChunkResidency& c = chunks_[chunk_of_block(b)];
   c.last_access = now;
   if (type == AccessType::kWrite) c.written_ever = true;
+  if (index_ != nullptr) index_->on_touch(b, now);
 }
 
 void BlockTable::mark_in_flight(BlockNum b) {
@@ -45,6 +47,7 @@ void BlockTable::mark_resident(BlockNum b, Cycle now) {
   ChunkResidency& c = chunks_[chunk_of_block(b)];
   if (c.resident_blocks == 0) c.migrated_at = now;
   ++c.resident_blocks;
+  if (index_ != nullptr) index_->on_resident(b);
 }
 
 bool BlockTable::mark_evicted(BlockNum b) {
@@ -61,17 +64,14 @@ bool BlockTable::mark_evicted(BlockNum b) {
             "BlockTable: chunk " << chunk_of_block(b)
                 << " resident count underflow evicting block " << b);
   --c.resident_blocks;
+  if (index_ != nullptr) index_->on_evicted(b);
   return was_dirty;
 }
 
 std::vector<BlockNum> BlockTable::resident_blocks_of(ChunkNum c) const {
   std::vector<BlockNum> out;
-  const BlockNum first = first_block_of_chunk(c);
-  const std::uint32_t n = space_.chunk_num_blocks(c);
   out.reserve(chunks_[c].resident_blocks);
-  for (BlockNum b = first; b < first + n; ++b) {
-    if (blocks_[b].residence == Residence::kDevice) out.push_back(b);
-  }
+  for_each_resident_block(c, [&](BlockNum b) { out.push_back(b); });
   return out;
 }
 

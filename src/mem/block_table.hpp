@@ -11,6 +11,8 @@
 
 namespace uvmsim {
 
+class EvictionIndex;
+
 struct BlockState {
   Residence residence = Residence::kHost;
   bool dirty = false;         ///< written while device-resident (needs writeback)
@@ -53,15 +55,35 @@ class BlockTable {
   /// Blocks of chunk `c` currently device-resident.
   [[nodiscard]] std::vector<BlockNum> resident_blocks_of(ChunkNum c) const;
 
+  /// Visit the device-resident blocks of chunk `c` in ascending block order
+  /// without materializing a vector (the eviction/audit hot path).
+  template <typename Fn>
+  void for_each_resident_block(ChunkNum c, Fn&& fn) const {
+    const BlockNum first = first_block_of_chunk(c);
+    const BlockNum last = first + space_.chunk_num_blocks(c);
+    std::uint32_t remaining = chunks_[c].resident_blocks;
+    for (BlockNum b = first; remaining != 0 && b < last; ++b) {
+      if (blocks_[b].residence == Residence::kDevice) {
+        --remaining;
+        fn(b);
+      }
+    }
+  }
+
   /// True when every mapped block of chunk `c` is resident.
   [[nodiscard]] bool chunk_fully_resident(ChunkNum c) const;
 
   [[nodiscard]] const AddressSpace& space() const noexcept { return space_; }
 
+  /// Wire the incremental eviction index that mirrors this table's residency
+  /// and recency transitions (nullptr detaches). Owned by EvictionManager.
+  void set_eviction_index(EvictionIndex* index) noexcept { index_ = index; }
+
  private:
   const AddressSpace& space_;
   std::vector<BlockState> blocks_;
   std::vector<ChunkResidency> chunks_;
+  EvictionIndex* index_ = nullptr;
 };
 
 }  // namespace uvmsim

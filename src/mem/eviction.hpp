@@ -19,6 +19,7 @@
 
 #include "mem/access_counters.hpp"
 #include "mem/block_table.hpp"
+#include "mem/eviction_index.hpp"
 #include "sim/config.hpp"
 #include "sim/types.hpp"
 
@@ -77,17 +78,38 @@ class LfuEviction final : public EvictionPolicy {
 /// Exposed as a pure function for testing.
 [[nodiscard]] std::vector<BlockNum> tree_eviction_subtree(ChunkNum c, const BlockTable& table);
 
+/// Allocation-free variant: appends the subtree blocks to `out` (which is
+/// not cleared). Used by the eviction hot path.
+void tree_eviction_subtree_into(ChunkNum c, const BlockTable& table,
+                                std::vector<BlockNum>& out);
+
 [[nodiscard]] std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind);
 
-/// Selects eviction victims for the driver. Scans the (small) chunk table;
-/// prefers fully-populated chunks per the NVIDIA semantics, falling back to
-/// the most-populated partially-resident chunk to guarantee progress.
+/// Selects eviction victims for the driver. Prefers fully-populated chunks
+/// per the NVIDIA semantics, falling back to partially-resident chunks (and
+/// then to protect-window-busy ones) to guarantee progress.
+///
+/// Two implementations with identical victim sequences:
+/// * the reference scan (`select_victims_reference`) — O(chunks) per call
+///   plus a per-candidate counter sweep under LFU; always available, and the
+///   oracle `InvariantAuditor` cross-validates against under --audit;
+/// * the fast path over the incremental `EvictionIndex` — used automatically
+///   once `attach_index` has wired the index to the queried table/counter
+///   pair. LRU/tree picks walk a bounded prefix of the recency list;
+///   LFU walks the resident chunks once with O(1) frequency lookups.
 class EvictionManager {
  public:
   EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes);
 
   [[nodiscard]] EvictionKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::uint64_t granularity() const noexcept { return granularity_; }
+
+  /// Wire the incremental index to `table`/`counters` mutation hooks and
+  /// rebuild it from their current state. The manager (and thus the index)
+  /// must stay at a stable address while attached.
+  void attach_index(BlockTable& table, AccessCounterTable& counters);
+
+  [[nodiscard]] const EvictionIndex& index() const noexcept { return index_; }
 
   /// Victim blocks to evict to make progress, or empty when nothing is
   /// evictable. With 2 MB granularity this is every resident block of the
@@ -97,10 +119,31 @@ class EvictionManager {
                                                      const AccessCounterTable& counters,
                                                      const VictimQuery& q) const;
 
+  /// Allocation-free variant for the fault hot path: clears and fills `out`.
+  void select_victims_into(const BlockTable& table, const AccessCounterTable& counters,
+                           const VictimQuery& q, std::vector<BlockNum>& out) const;
+
+  /// The original full-scan implementation, kept as the cross-validation
+  /// oracle for the incremental index (see InvariantAuditor).
+  [[nodiscard]] std::vector<BlockNum> select_victims_reference(
+      const BlockTable& table, const AccessCounterTable& counters,
+      const VictimQuery& q) const;
+
   [[nodiscard]] const EvictionPolicy& policy() const noexcept { return *policy_; }
 
  private:
+  /// Fast victim-chunk pick over the index; kNilChunk when nothing is
+  /// evictable. Requires `index_.attached_to(&table, &counters)`.
+  [[nodiscard]] ChunkNum pick_fast(const BlockTable& table,
+                                   const AccessCounterTable& counters,
+                                   const VictimQuery& q) const;
+  /// Expand a victim chunk into the blocks to evict (tree subtree, whole
+  /// chunk, or coldest block, depending on kind/granularity).
+  void emit_victims(ChunkNum victim, const BlockTable& table,
+                    const AccessCounterTable& counters, std::vector<BlockNum>& out) const;
+
   std::unique_ptr<EvictionPolicy> policy_;
+  EvictionIndex index_;
   EvictionKind kind_;
   std::uint64_t granularity_;
 };

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
 
 #include "check/check.hpp"
 
@@ -11,19 +11,63 @@ void EventQueue::schedule_at(Cycle when, Action act) {
   // past could never fire (deterministic-replay invariant).
   UVM_CHECK(when >= now_, "EventQueue: scheduling into the past; when=" << when
                 << " now=" << now_ << " pending=" << heap_.size());
-  heap_.push(Node{when, next_seq_++, std::move(act)});
+  std::uint32_t si;
+  if (free_head_ != kNoSlot) {
+    si = free_head_;
+    Slot& s = slots_[si];
+    free_head_ = s.next_free;
+    s.act = std::move(act);
+  } else {
+    si = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{std::move(act), kNoSlot});
+  }
+  heap_.push_back(HeapEntry{when, next_seq_++, si});
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  const HeapEntry v = heap_[i];
+  while (i != 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = v;
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const HeapEntry v = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], v)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = v;
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; the action must be moved out, so copy the
-  // node header and take the action via const_cast before pop (safe: the node
-  // is discarded immediately).
-  auto& top = const_cast<Node&>(heap_.top());
-  Cycle when = top.when;
-  Action act = std::move(top.act);
-  heap_.pop();
-  now_ = when;
+  const HeapEntry e = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  Slot& s = slots_[e.slot];
+  now_ = e.when;
+  EventAction act = std::move(s.act);
+  // Recycle the slot before firing: the action may schedule (reusing this
+  // slot) or grow the pool, which would invalidate `s`.
+  s.next_free = free_head_;
+  free_head_ = e.slot;
   ++executed_;
   act();
   return true;

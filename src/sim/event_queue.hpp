@@ -1,22 +1,144 @@
 // Discrete-event kernel: a monotonic cycle clock plus a priority queue of
 // (cycle, sequence, action) events. Sequence numbers break ties so that
 // same-cycle events fire in schedule order (deterministic replay).
+//
+// Hot-path layout (see docs/PERF.md): actions live in a slot pool recycled
+// through an intrusive free list, and the priority queue is a 4-ary min-heap
+// of plain (when, seq, slot) triples — comparisons touch only the heap array
+// (no pointer chase into the pool), sifts move 24-byte PODs instead of
+// type-erased callables, and the shallower 4-ary tree roughly halves the
+// comparison depth of a binary heap. Actions are EventAction (small-buffer
+// type-erased callables), so in the steady state schedule/fire performs no
+// heap allocation at all.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
 
 namespace uvmsim {
 
+/// Move-only type-erased `void()` callable with inline storage sized for the
+/// simulator's capture sizes (the driver/GPU `[this, b]`-style lambdas and a
+/// libstdc++ std::function both fit), so scheduling allocates nothing.
+/// Larger callables — or ones whose move may throw — fall back to the heap.
+class EventAction {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventAction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, EventAction> &&
+                                 std::is_invocable_r_v<void, D&>,
+                             int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function
+  EventAction(F&& f) {
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &InlineOps<D>::vt;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &HeapOps<D>::vt;
+    }
+  }
+
+  EventAction(EventAction&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      if (vt_->trivial)
+        std::memcpy(buf_, other.buf_, kInlineSize);
+      else
+        vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        if (vt_->trivial)
+          std::memcpy(buf_, other.buf_, kInlineSize);
+        else
+          vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+
+  ~EventAction() { reset(); }
+
+  /// Destroy the held callable (if any); the action becomes empty.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      if (!vt_->trivial) vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable into `dst` from `src` and destroy `src`
+    /// (for heap-held callables this just transfers the owning pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    /// Relocation is a plain byte copy and destruction a no-op — lets the
+    /// hot move/reset paths skip the indirect calls entirely (true for the
+    /// driver's pointer-and-integer capture lambdas).
+    bool trivial;
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static D* self(void* p) noexcept { return static_cast<D*>(p); }
+    static void invoke(void* p) { (*self(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D(std::move(*self(src)));
+      self(src)->~D();
+    }
+    static void destroy(void* p) noexcept { self(p)->~D(); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy,
+                               std::is_trivially_copyable_v<D> &&
+                                   std::is_trivially_destructible_v<D>};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D** self(void* p) noexcept { return static_cast<D**>(p); }
+    static void invoke(void* p) { (**self(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D*(*self(src));
+    }
+    static void destroy(void* p) noexcept { delete *self(p); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy, false};
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = EventAction;
 
-  /// Schedule `act` to run at absolute cycle `when` (must be >= now()).
+  /// Schedule `act` to run at absolute cycle `when` (must be >= now(); the
+  /// clock never runs backwards, so a past event could never fire).
   void schedule_at(Cycle when, Action act);
   /// Schedule `act` to run `delay` cycles after now().
   void schedule_in(Cycle delay, Action act) { schedule_at(now_ + delay, std::move(act)); }
@@ -34,18 +156,31 @@ class EventQueue {
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
-  struct Node {
-    Cycle when;
-    std::uint64_t seq;
-    Action act;
-  };
-  struct Later {
-    bool operator()(const Node& a, const Node& b) const noexcept {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  struct Slot {
+    EventAction act;
+    std::uint32_t next_free = kNoSlot;  ///< free-list link while recycled
   };
 
-  std::priority_queue<Node, std::vector<Node>, Later> heap_;
+  /// Heap node: ordering keys inline so comparisons never touch the pool.
+  struct HeapEntry {
+    Cycle when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  /// Strict (when, seq) order; seq is unique, so ties never reach the heap's
+  /// arbitrary layout — pop order is fully deterministic.
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap of (when, seq, slot)
+  std::vector<Slot> slots_;      ///< grows to the high-water mark, then stable
+  std::uint32_t free_head_ = kNoSlot;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -20,6 +20,7 @@
 
 #include "flag_parse.hpp"
 #include "report/run_csv.hpp"
+#include "sweep_grid.hpp"
 
 namespace {
 
@@ -39,14 +40,6 @@ int usage_error(const char* flag, const char* value) {
     std::fprintf(stderr, "missing value for %s\n", flag);
   std::fputs(kUsage, stderr);
   return 2;
-}
-
-SimConfig scheme_cfg(PolicyKind policy) {
-  SimConfig cfg;
-  cfg.policy.policy = policy;
-  cfg.mem.eviction =
-      policy == PolicyKind::kFirstTouch ? EvictionKind::kLru : EvictionKind::kLfu;
-  return cfg;
 }
 
 }  // namespace
@@ -89,41 +82,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  WorkloadParams params;
-  params.scale = scale;
-
-  // Describe the full grid in figure order; rows are emitted in this order.
-  std::vector<RunRequest> grid;
-  auto add = [&](const std::string& name, const SimConfig& cfg, double oversub) {
-    RunRequest req;
-    req.workload = name;
-    req.params = params;
-    req.config = cfg;
-    req.oversub = oversub;
-    grid.push_back(std::move(req));
-  };
-
-  for (const auto& name : workload_names()) {
-    // Figs 1, 5, 6, 7: scheme x oversubscription grid.
-    for (const PolicyKind policy : {PolicyKind::kFirstTouch, PolicyKind::kStaticAlways,
-                                    PolicyKind::kStaticOversub, PolicyKind::kAdaptive}) {
-      for (const double oversub : {0.0, 1.25, 1.5}) {
-        add(name, scheme_cfg(policy), oversub);
-      }
-    }
-    // Fig 4: ts sweep under Always at 125 %.
-    for (const std::uint32_t ts : {16u, 32u}) {
-      SimConfig cfg = scheme_cfg(PolicyKind::kStaticAlways);
-      cfg.policy.static_threshold = ts;
-      add(name, cfg, 1.25);
-    }
-    // Fig 8: penalty sweep under Adaptive at 125 %.
-    for (const std::uint64_t p : {2ull, 4ull, 1048576ull}) {
-      SimConfig cfg = scheme_cfg(PolicyKind::kAdaptive);
-      cfg.policy.migration_penalty = p;
-      add(name, cfg, 1.25);
-    }
-  }
+  // The grid lives in tools/sweep_grid.hpp so the golden-output integration
+  // test runs exactly these requests.
+  const std::vector<RunRequest> grid = tools::build_sweep_grid(scale);
 
   BatchOptions opts;
   opts.jobs = jobs;
