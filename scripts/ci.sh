@@ -54,6 +54,27 @@ build/tools/uvmsim --workload sssp --policy adaptive \
 grep -q 'violations=0' /tmp/parity_audit.log || {
   echo "victim-parity audit reported violations"; exit 1; }
 
+# Differential fuzz smoke: N seeded sim-vs-model iterations must end with
+# zero divergences (the oracle self-tests that prove the harness CAN detect
+# divergences run inside ctest, tests/check/test_fuzz_selftest.cpp).
+echo "==> fuzz smoke (differential oracle, seed 1)"
+build/tools/uvmsim-fuzz --seed 1 --iters 500 --quiet
+if [[ $quick -eq 0 ]]; then
+  build-asan/tools/uvmsim-fuzz --seed 1 --iters 50 --quiet
+fi
+# The CLI must reject garbage flags loudly (exit 2), never run a degenerate
+# campaign silently.
+rc=0
+build/tools/uvmsim-fuzz --seed nope > /dev/null 2>&1 || rc=$?
+if [[ $rc -ne 2 ]]; then
+  echo "uvmsim-fuzz accepted a garbage --seed (rc=$rc, want 2)"; exit 1
+fi
+
+if [[ $quick -eq 0 ]]; then
+  echo "==> coverage gate (src/policy + src/check vs scripts/coverage_baseline.txt)"
+  scripts/coverage.sh
+fi
+
 echo "==> determinism lint"
 tools/lint_determinism
 

@@ -326,13 +326,13 @@ void InvariantAuditor::check_counters(const AuditScope& s, AuditReport& r) {
   for (std::uint64_t u = 0; u < units; ++u) {
     const std::uint32_t count = counters.count_unit(u);
     const std::uint32_t trips = counters.round_trips_unit(u);
-    expect(r, count < AccessCounterTable::kCountMax, [&] {
+    expect(r, count < counters.count_max(), [&] {
       std::ostringstream os;
       os << "counters: unit " << u << " count " << count
          << " reached saturation without a halving";
       return text(os);
     });
-    expect(r, trips < AccessCounterTable::kTripMax, [&] {
+    expect(r, trips < counters.trip_max(), [&] {
       std::ostringstream os;
       os << "counters: unit " << u << " round trips " << trips
          << " reached saturation without a halving";

@@ -1,0 +1,497 @@
+#include "check/refmodel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <sstream>
+#include <tuple>
+
+#include "core/simulator.hpp"
+
+namespace uvmsim {
+
+namespace {
+
+const char* to_cstr(MigrationDecision d) noexcept {
+  return d == MigrationDecision::kMigrate ? "migrate" : "remote";
+}
+
+std::string format_blocks(const std::vector<BlockNum>& blocks) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << blocks[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_cstr(InjectedFault f) noexcept {
+  switch (f) {
+    case InjectedFault::kNone: return "none";
+    case InjectedFault::kFlipResidency: return "flip-residency";
+    case InjectedFault::kSkipHalving: return "skip-halving";
+    case InjectedFault::kRoundTripOffByOne: return "round-trip-off-by-one";
+  }
+  return "?";
+}
+
+RefModel::RefModel(SimConfig cfg, InjectedFault fault)
+    : cfg_(std::move(cfg)),
+      fault_(fault),
+      skip_halving_armed_(fault == InjectedFault::kSkipHalving),
+      flip_residency_armed_(fault == InjectedFault::kFlipResidency) {}
+
+void RefModel::capture_layout(const AddressSpace& space) {
+  capacity_blocks_ = derived_capacity_bytes(cfg_, space.footprint_bytes()) / kBasicBlockSize;
+  overcommitted_ = space.footprint_bytes() > capacity_blocks_ * kBasicBlockSize;
+
+  const BlockNum total_blocks = space.total_blocks();
+  blocks_.assign(total_blocks, MBlock{});
+  const ChunkNum total_chunks =
+      total_blocks == 0 ? 1 : chunk_of_block(total_blocks - 1) + 1;
+  chunks_.assign(total_chunks, MChunk{});
+  for (ChunkNum c = 0; c < total_chunks; ++c) {
+    chunks_[c].num_blocks = space.chunk_num_blocks(c);
+  }
+
+  unit_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.mem.counter_granularity));
+  const std::uint64_t units = div_ceil(space.span_end(), cfg_.mem.counter_granularity);
+  cnt_.assign(units, 0u);
+  trips_.assign(units, 0u);
+  count_max_ = (1u << cfg_.mem.counter_count_bits) - 1;
+  trip_max_ = (1u << (32u - cfg_.mem.counter_count_bits)) - 1;
+
+  advice_.assign(total_blocks, MemAdvice::kNone);
+  for (const Allocation& a : space.allocations()) {
+    if (a.advice == MemAdvice::kNone) continue;
+    const BlockNum first = block_of(a.base);
+    for (BlockNum b = first; b < first + a.padded_size / kBasicBlockSize; ++b) {
+      advice_[b] = a.advice;
+    }
+  }
+  layout_captured_ = true;
+}
+
+void RefModel::diverge(Cycle now, const std::string& what) {
+  if (diverged_) return;
+  diverged_ = true;
+  std::ostringstream os;
+  os << "divergence at access #" << accesses_seen_ << " (cycle " << now << "): " << what;
+  divergence_ = os.str();
+}
+
+std::uint32_t RefModel::model_record_access(VirtAddr a, std::uint32_t n) {
+  const std::uint64_t u = a >> unit_shift_;
+  std::uint64_t cnt = cnt_[u] + static_cast<std::uint64_t>(n);
+  if (cnt >= count_max_) {
+    model_halve_all();
+    cnt = cnt_[u] + static_cast<std::uint64_t>(n);
+    cnt = std::min<std::uint64_t>(cnt, count_max_ - 1);
+  }
+  cnt_[u] = static_cast<std::uint32_t>(std::min<std::uint64_t>(cnt, count_max_));
+  return cnt_[u];
+}
+
+void RefModel::model_record_round_trip(VirtAddr a) {
+  const std::uint64_t u = a >> unit_shift_;
+  if (trips_[u] + 1 >= trip_max_) model_halve_all();
+  trips_[u] += 1;
+}
+
+void RefModel::model_halve_all() {
+  if (skip_halving_armed_) {
+    // Injected fault: forget to halve exactly once.
+    skip_halving_armed_ = false;
+    return;
+  }
+  for (std::uint32_t& c : cnt_) c >>= 1;
+  for (std::uint32_t& t : trips_) t >>= 1;
+}
+
+std::uint64_t RefModel::model_range_count(VirtAddr addr, std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = addr >> unit_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> unit_shift_;
+  std::uint64_t total = 0;
+  for (std::uint64_t u = first; u <= last && u < cnt_.size(); ++u) total += cnt_[u];
+  return total;
+}
+
+std::uint64_t RefModel::model_threshold(std::uint32_t counter_trips) const {
+  const std::uint32_t ts = cfg_.policy.static_threshold;
+  if (!overcommitted_) {
+    const std::uint64_t capacity_pages = capacity_blocks_ * kPagesPerBlock;
+    if (capacity_pages == 0) return 1;
+    const std::uint64_t resident_pages = used_blocks_ * kPagesPerBlock;
+    return ts * resident_pages / capacity_pages + 1;
+  }
+  std::uint64_t r = counter_trips;
+  if (fault_ == InjectedFault::kRoundTripOffByOne) r += 1;  // injected off-by-one
+  return static_cast<std::uint64_t>(ts) * (r + 1) * cfg_.policy.migration_penalty;
+}
+
+MigrationDecision RefModel::model_decide(AccessType type, std::uint32_t post_count,
+                                         std::uint32_t counter_trips) const {
+  const PolicyConfig& p = cfg_.policy;
+  switch (p.policy) {
+    case PolicyKind::kFirstTouch:
+      return MigrationDecision::kMigrate;
+    case PolicyKind::kStaticAlways:
+      if (type == AccessType::kWrite && p.write_triggers_migration)
+        return MigrationDecision::kMigrate;
+      return post_count >= p.static_threshold ? MigrationDecision::kMigrate
+                                              : MigrationDecision::kRemoteAccess;
+    case PolicyKind::kStaticOversub:
+      if (!ever_full_) return MigrationDecision::kMigrate;
+      if (type == AccessType::kWrite && p.write_triggers_migration)
+        return MigrationDecision::kMigrate;
+      return post_count >= p.static_threshold ? MigrationDecision::kMigrate
+                                              : MigrationDecision::kRemoteAccess;
+    case PolicyKind::kAdaptive:
+      if (type == AccessType::kWrite && p.adaptive_write_migrates)
+        return MigrationDecision::kMigrate;
+      return post_count >= model_threshold(counter_trips) ? MigrationDecision::kMigrate
+                                                          : MigrationDecision::kRemoteAccess;
+  }
+  return MigrationDecision::kRemoteAccess;
+}
+
+std::vector<BlockNum> RefModel::model_select_victims(ChunkNum faulting_chunk,
+                                                     Cycle now) const {
+  const Cycle pw = cfg_.mem.eviction_protect_cycles;
+  const Cycle cutoff = now > pw ? now - pw : 0;
+  std::vector<ChunkNum> full, partial, busy_full, busy_partial;
+  for (ChunkNum c = 0; c < chunks_.size(); ++c) {
+    if (c == faulting_chunk) continue;
+    const MChunk& mc = chunks_[c];
+    if (mc.resident == 0) continue;
+    const bool busy = pw != 0 && mc.last_access >= cutoff;
+    const bool fully = mc.num_blocks != 0 && mc.resident == mc.num_blocks;
+    (fully ? (busy ? busy_full : full) : (busy ? busy_partial : partial)).push_back(c);
+  }
+  const std::vector<ChunkNum>& pool = !full.empty()        ? full
+                                      : !partial.empty()   ? partial
+                                      : !busy_full.empty() ? busy_full
+                                                           : busy_partial;
+  if (pool.empty()) return {};
+
+  ChunkNum victim = pool.front();
+  if (cfg_.mem.eviction == EvictionKind::kLfu) {
+    using Key = std::tuple<std::uint64_t, bool, Cycle>;
+    Key best{std::numeric_limits<std::uint64_t>::max(), true,
+             std::numeric_limits<Cycle>::max()};
+    for (ChunkNum c : pool) {
+      std::uint64_t freq = 0;
+      const BlockNum first = first_block_of_chunk(c);
+      for (BlockNum b = first; b < first + chunks_[c].num_blocks; ++b) {
+        if (blocks_[b].res == Residence::kDevice) {
+          freq += model_range_count(addr_of_block(b), kBasicBlockSize);
+        }
+      }
+      const Key key{freq, chunks_[c].written_ever, chunks_[c].last_access};
+      if (key < best) {
+        best = key;
+        victim = c;
+      }
+    }
+  } else {
+    Cycle best_ts = std::numeric_limits<Cycle>::max();
+    for (ChunkNum c : pool) {
+      if (chunks_[c].last_access < best_ts) {
+        best_ts = chunks_[c].last_access;
+        victim = c;
+      }
+    }
+  }
+
+  std::vector<BlockNum> out;
+  model_emit_victims(victim, out);
+  return out;
+}
+
+void RefModel::model_emit_victims(ChunkNum victim, std::vector<BlockNum>& out) const {
+  const BlockNum first = first_block_of_chunk(victim);
+  const std::uint32_t n = chunks_[victim].num_blocks;
+
+  if (cfg_.mem.eviction == EvictionKind::kTree && n != 0) {
+    // Largest fully-resident power-of-two subtree around the LRU leaf.
+    BlockNum lru = first;
+    Cycle lru_ts = std::numeric_limits<Cycle>::max();
+    bool found = false;
+    for (BlockNum b = first; b < first + n; ++b) {
+      if (blocks_[b].res == Residence::kDevice && blocks_[b].last_access < lru_ts) {
+        lru_ts = blocks_[b].last_access;
+        lru = b;
+        found = true;
+      }
+    }
+    if (found) {
+      const auto leaf = static_cast<std::uint32_t>(lru - first);
+      std::uint32_t best_lo = leaf, best_size = 1;
+      for (std::uint32_t size = 2; size <= n; size <<= 1) {
+        const std::uint32_t lo = leaf / size * size;
+        bool full = true;
+        for (std::uint32_t i = lo; i < lo + size && full; ++i) {
+          full = i < n && blocks_[first + i].res == Residence::kDevice;
+        }
+        if (!full) break;
+        best_lo = lo;
+        best_size = size;
+      }
+      for (std::uint32_t i = best_lo; i < best_lo + best_size; ++i) out.push_back(first + i);
+      return;
+    }
+  }
+
+  if (cfg_.mem.eviction_granularity == kLargePageSize || chunks_[victim].resident <= 1) {
+    for (BlockNum b = first; b < first + n; ++b) {
+      if (blocks_[b].res == Residence::kDevice) out.push_back(b);
+    }
+    return;
+  }
+
+  // 64 KB granularity: only the coldest resident block of the chunk.
+  BlockNum coldest = first;
+  bool found = false;
+  std::uint64_t coldest_cnt = std::numeric_limits<std::uint64_t>::max();
+  Cycle coldest_ts = std::numeric_limits<Cycle>::max();
+  for (BlockNum b = first; b < first + n; ++b) {
+    if (blocks_[b].res != Residence::kDevice) continue;
+    const std::uint64_t cnt = model_range_count(addr_of_block(b), kBasicBlockSize);
+    const Cycle ts = blocks_[b].last_access;
+    if (std::tie(cnt, ts) < std::tie(coldest_cnt, coldest_ts)) {
+      coldest_cnt = cnt;
+      coldest_ts = ts;
+      coldest = b;
+      found = true;
+    }
+  }
+  if (found) out.push_back(coldest);
+}
+
+void RefModel::on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                         bool device_resident) {
+  if (diverged_) return;
+  ++accesses_seen_;
+  if (!layout_captured_) {
+    diverge(now, "layout never captured (advice_hook not wired?)");
+    return;
+  }
+  if (pending_) {
+    std::ostringstream os;
+    os << "driver never reported the decision for the previous host access to addr 0x"
+       << std::hex << pending_->addr;
+    diverge(now, os.str());
+    return;
+  }
+  const BlockNum b = block_of(addr);
+  if (b >= blocks_.size()) {
+    std::ostringstream os;
+    os << "access to unmapped block " << b << " (addr 0x" << std::hex << addr << ')';
+    diverge(now, os.str());
+    return;
+  }
+
+  const Residence res = blocks_[b].res;
+  if (device_resident != (res == Residence::kDevice)) {
+    std::ostringstream os;
+    os << "residency mismatch on block " << b << ": driver says "
+       << (device_resident ? "device" : "not device") << ", model has " << to_cstr(res);
+    diverge(now, os.str());
+    return;
+  }
+
+  std::uint32_t post_count = 0;
+  if (cfg_.policy.historic_counters() || res == Residence::kHost) {
+    post_count = model_record_access(addr, count);
+  }
+  blocks_[b].last_access = now;
+  MChunk& mc = chunks_[chunk_of_block(b)];
+  mc.last_access = now;
+  if (type == AccessType::kWrite) mc.written_ever = true;
+
+  if (res != Residence::kHost) return;  // device hit or in-flight join
+
+  const std::uint32_t counter_trips = trips_[addr >> unit_shift_];
+  MigrationDecision d;
+  const MemAdvice advice = advice_[b];
+  switch (advice) {
+    case MemAdvice::kAccessedBy:
+      d = MigrationDecision::kRemoteAccess;
+      break;
+    case MemAdvice::kPreferredHost:
+      d = (type == AccessType::kWrite || post_count >= cfg_.policy.static_threshold)
+              ? MigrationDecision::kMigrate
+              : MigrationDecision::kRemoteAccess;
+      break;
+    case MemAdvice::kNone:
+      d = model_decide(type, post_count, counter_trips);
+      break;
+  }
+
+  if (d == MigrationDecision::kMigrate && cfg_.mitigation.enabled) {
+    if (blocks_[b].round_trips >= cfg_.mitigation.detect_faults) {
+      auto [it, inserted] = pinned_until_.try_emplace(b, 0);
+      if (now >= it->second) it->second = now + cfg_.mitigation.pin_cooldown;
+    }
+    const auto it = pinned_until_.find(b);
+    if (it != pinned_until_.end() && now < it->second) d = MigrationDecision::kRemoteAccess;
+  }
+
+  bool write_forced = false;
+  if (d == MigrationDecision::kMigrate && type == AccessType::kWrite) {
+    if (advice == MemAdvice::kPreferredHost) {
+      write_forced = post_count < cfg_.policy.static_threshold;
+    } else {
+      write_forced = model_decide(AccessType::kRead, post_count, counter_trips) ==
+                     MigrationDecision::kRemoteAccess;
+    }
+  }
+
+  pending_ = PendingDecision{addr, type, post_count, counter_trips, d, write_forced};
+  if (d == MigrationDecision::kMigrate) blocks_[b].res = Residence::kInFlight;
+}
+
+void RefModel::on_kernel_begin(std::uint32_t, const std::string&) {}
+
+void RefModel::on_decision(Cycle now, VirtAddr addr, AccessType type,
+                           std::uint32_t post_count, std::uint32_t round_trips,
+                           MigrationDecision decision, bool write_forced) {
+  if (diverged_) return;
+  if (!pending_) {
+    std::ostringstream os;
+    os << "unexpected on_decision for addr 0x" << std::hex << addr
+       << " — model predicted no policy consultation";
+    diverge(now, os.str());
+    return;
+  }
+  const PendingDecision& p = *pending_;
+  if (p.addr != addr || p.type != type || p.post_count != post_count ||
+      p.round_trips != round_trips || p.decision != decision ||
+      p.write_forced != write_forced) {
+    std::ostringstream os;
+    os << "decision mismatch on addr 0x" << std::hex << addr << std::dec
+       << ": driver (post=" << post_count << " trips=" << round_trips << " d="
+       << to_cstr(decision) << " wf=" << write_forced << ") vs model (addr 0x" << std::hex
+       << p.addr << std::dec << " post=" << p.post_count << " trips=" << p.round_trips
+       << " d=" << to_cstr(p.decision) << " wf=" << p.write_forced << ')';
+    diverge(now, os.str());
+    return;
+  }
+  pending_.reset();
+}
+
+void RefModel::on_eviction(Cycle now, ChunkNum faulting_chunk,
+                           const std::vector<BlockNum>& victims) {
+  if (diverged_ || !layout_captured_) return;
+  const std::vector<BlockNum> expected = model_select_victims(faulting_chunk, now);
+  if (expected != victims) {
+    std::ostringstream os;
+    os << "victim mismatch while servicing chunk " << faulting_chunk << ": driver evicted "
+       << format_blocks(victims) << ", model expected " << format_blocks(expected);
+    diverge(now, os.str());
+    return;
+  }
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const BlockNum v = victims[i];
+    if (blocks_[v].res != Residence::kDevice) {
+      std::ostringstream os;
+      os << "driver evicted block " << v << " that the model holds " << to_cstr(blocks_[v].res);
+      diverge(now, os.str());
+      return;
+    }
+    if (flip_residency_armed_ && i + 1 == victims.size()) {
+      // Injected fault: forget to apply the last victim of the first
+      // eviction — the model keeps believing the block is resident.
+      flip_residency_armed_ = false;
+      continue;
+    }
+    blocks_[v].res = Residence::kHost;
+    ++blocks_[v].round_trips;
+    MChunk& mc = chunks_[chunk_of_block(v)];
+    if (mc.resident > 0) --mc.resident;
+    model_record_round_trip(addr_of_block(v));
+    if (used_blocks_ > 0) --used_blocks_;
+  }
+}
+
+void RefModel::on_migration(Cycle now, BlockNum b, bool demand) {
+  if (diverged_ || !layout_captured_) return;
+  if (b >= blocks_.size()) {
+    std::ostringstream os;
+    os << "migration of unmapped block " << b;
+    diverge(now, os.str());
+    return;
+  }
+  if (demand) {
+    if (blocks_[b].res != Residence::kInFlight) {
+      std::ostringstream os;
+      os << "demand migration of block " << b << " the model holds "
+         << to_cstr(blocks_[b].res) << " (expected in-flight)";
+      diverge(now, os.str());
+      return;
+    }
+  } else {
+    if (blocks_[b].res != Residence::kHost) {
+      std::ostringstream os;
+      os << "prefetch migration of block " << b << " the model holds "
+         << to_cstr(blocks_[b].res) << " (expected host)";
+      diverge(now, os.str());
+      return;
+    }
+    blocks_[b].res = Residence::kInFlight;
+  }
+  if (!cfg_.policy.historic_counters()) {
+    const VirtAddr base = addr_of_block(b);
+    const std::uint64_t first = base >> unit_shift_;
+    const std::uint64_t last = (base + kBasicBlockSize - 1) >> unit_shift_;
+    for (std::uint64_t u = first; u <= last && u < cnt_.size(); ++u) cnt_[u] = 0;
+  }
+  ++used_blocks_;
+  if (used_blocks_ > capacity_blocks_) {
+    std::ostringstream os;
+    os << "device over-reserved: " << used_blocks_ << " blocks in use, capacity "
+       << capacity_blocks_;
+    diverge(now, os.str());
+  }
+}
+
+void RefModel::on_arrival(Cycle now, BlockNum b) {
+  if (diverged_ || !layout_captured_) return;
+  if (b >= blocks_.size() || blocks_[b].res != Residence::kInFlight) {
+    std::ostringstream os;
+    os << "arrival of block " << b << " the model holds "
+       << (b < blocks_.size() ? to_cstr(blocks_[b].res) : "unmapped")
+       << " (expected in-flight)";
+    diverge(now, os.str());
+    return;
+  }
+  blocks_[b].res = Residence::kDevice;
+  ++chunks_[chunk_of_block(b)].resident;
+}
+
+void RefModel::on_device_full(Cycle) { ever_full_ = true; }
+
+void RefModel::finish() {
+  if (diverged_) return;
+  if (pending_) {
+    std::ostringstream os;
+    os << "run ended with an unreported decision for addr 0x" << std::hex << pending_->addr;
+    diverge(0, os.str());
+    return;
+  }
+  for (BlockNum b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].res == Residence::kInFlight) {
+      std::ostringstream os;
+      os << "run ended with block " << b << " still in flight in the model";
+      diverge(0, os.str());
+      return;
+    }
+  }
+}
+
+}  // namespace uvmsim

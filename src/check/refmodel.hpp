@@ -1,0 +1,151 @@
+// Differential reference model of the UVM driver (the fuzzing oracle).
+//
+// RefModel is a TraceSink that maintains a deliberately naive, allocation-
+// heavy functional copy of the driver state — block residency, access
+// counters with saturation halving, the Equation-1 threshold in both
+// regimes, the write-migrate rule and LRU/LFU/tree victim ordering — from
+// nothing but the observation hooks the driver emits (trace.hpp). It
+// re-derives every policy decision and every victim set independently and
+// compares them against what the driver reports, recording the first
+// divergence with full context.
+//
+// The model is intentionally simple rather than fast: straight-line scans,
+// no incremental indices, no shared code with the driver's eviction fast
+// path. Where the driver uses EvictionIndex and pick_fast(), the model
+// rescans every chunk; where AccessCounterTable packs two fields into one
+// register, the model keeps two plain vectors. Agreement between two
+// implementations this different is the property the fuzzer checks.
+//
+// Fault injection (self-test of the oracle): InjectedFault deliberately
+// corrupts the model so the harness can assert that the fuzzer detects a
+// wrong oracle (tests/check/test_fuzz_selftest.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
+
+namespace uvmsim {
+
+/// Deliberate model corruptions for oracle self-tests.
+enum class InjectedFault : std::uint8_t {
+  kNone,              ///< faithful model (production fuzzing)
+  kFlipResidency,     ///< first eviction leaves its last victim marked resident
+  kSkipHalving,       ///< the model's first counter halving is skipped
+  kRoundTripOffByOne  ///< Equation 1 oversub branch uses (r + 2) instead of (r + 1)
+};
+
+[[nodiscard]] const char* to_cstr(InjectedFault f) noexcept;
+
+/// Lockstep oracle: attach as the trace sink of a collect_traces run (and
+/// call capture_layout from RunOptions::advice_hook so the model sees the
+/// allocation layout before the first access). After the run, diverged()
+/// reports whether the driver ever disagreed with the model.
+class RefModel final : public TraceSink {
+ public:
+  explicit RefModel(SimConfig cfg, InjectedFault fault = InjectedFault::kNone);
+
+  /// Capture allocation layout, derive device capacity and size every model
+  /// structure. Must run after the workload builds and before any access;
+  /// wire it as RunOptions::advice_hook.
+  void capture_layout(const AddressSpace& space);
+
+  // TraceSink
+  void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                 bool device_resident) override;
+  void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override;
+  void on_decision(Cycle now, VirtAddr addr, AccessType type, std::uint32_t post_count,
+                   std::uint32_t round_trips, MigrationDecision decision,
+                   bool write_forced) override;
+  void on_eviction(Cycle now, ChunkNum faulting_chunk,
+                   const std::vector<BlockNum>& victims) override;
+  void on_migration(Cycle now, BlockNum block, bool demand) override;
+  void on_arrival(Cycle now, BlockNum block) override;
+  void on_device_full(Cycle now) override;
+
+  /// End-of-run checks (dangling decision, migrations that never landed).
+  /// Call after the simulation completes; may record a divergence.
+  void finish();
+
+  [[nodiscard]] bool diverged() const noexcept { return diverged_; }
+  /// First divergence, with the access index, cycle and expected-vs-actual
+  /// context. Empty while !diverged().
+  [[nodiscard]] const std::string& divergence() const noexcept { return divergence_; }
+  /// 1-based index of the access during/after which the divergence fired.
+  [[nodiscard]] std::uint64_t accesses_seen() const noexcept { return accesses_seen_; }
+
+ private:
+  struct MBlock {
+    Residence res = Residence::kHost;
+    Cycle last_access = 0;
+    std::uint32_t round_trips = 0;  ///< BlockTable round trips (throttle input)
+  };
+  struct MChunk {
+    std::uint32_t resident = 0;
+    std::uint32_t num_blocks = 0;  ///< mapped 64 KB blocks (0 = unmapped chunk)
+    Cycle last_access = 0;
+    bool written_ever = false;
+  };
+  struct PendingDecision {
+    VirtAddr addr = 0;
+    AccessType type = AccessType::kRead;
+    std::uint32_t post_count = 0;
+    std::uint32_t round_trips = 0;
+    MigrationDecision decision = MigrationDecision::kRemoteAccess;
+    bool write_forced = false;
+  };
+
+  void diverge(Cycle now, const std::string& what);
+
+  // Naive counter mirror (two plain vectors instead of packed registers).
+  std::uint32_t model_record_access(VirtAddr a, std::uint32_t n);
+  void model_record_round_trip(VirtAddr a);
+  void model_halve_all();
+  [[nodiscard]] std::uint64_t model_range_count(VirtAddr addr, std::uint64_t bytes) const;
+
+  [[nodiscard]] MigrationDecision model_decide(AccessType type, std::uint32_t post_count,
+                                               std::uint32_t counter_trips) const;
+  [[nodiscard]] std::uint64_t model_threshold(std::uint32_t counter_trips) const;
+
+  // Naive victim selection: full rescan, reference class ordering.
+  [[nodiscard]] std::vector<BlockNum> model_select_victims(ChunkNum faulting_chunk,
+                                                           Cycle now) const;
+  void model_emit_victims(ChunkNum victim, std::vector<BlockNum>& out) const;
+
+  SimConfig cfg_;
+  InjectedFault fault_;
+  bool skip_halving_armed_;
+  bool flip_residency_armed_;
+  bool layout_captured_ = false;
+
+  // Layout (fixed after capture_layout).
+  std::uint64_t capacity_blocks_ = 0;
+  bool overcommitted_ = false;
+  std::uint32_t unit_shift_ = 0;
+  std::uint32_t count_max_ = 0;
+  std::uint32_t trip_max_ = 0;
+  std::vector<MemAdvice> advice_;
+
+  // Mutable mirrored state.
+  std::vector<MBlock> blocks_;
+  std::vector<MChunk> chunks_;
+  std::vector<std::uint32_t> cnt_;    ///< per counter unit: access count field
+  std::vector<std::uint32_t> trips_;  ///< per counter unit: round-trip field
+  std::uint64_t used_blocks_ = 0;
+  bool ever_full_ = false;
+  std::unordered_map<BlockNum, Cycle> pinned_until_;  ///< throttle mirror
+  std::optional<PendingDecision> pending_;
+
+  bool diverged_ = false;
+  std::string divergence_;
+  std::uint64_t accesses_seen_ = 0;
+};
+
+}  // namespace uvmsim

@@ -19,12 +19,7 @@ RunResult Simulator::run(Workload& workload, const RunOptions& opts) {
     throw std::invalid_argument("Simulator: workload declared no allocations");
   if (opts.advice_hook) opts.advice_hook(space);
 
-  std::uint64_t capacity = cfg_.mem.device_capacity_bytes;
-  if (cfg_.mem.oversubscription > 0.0) {
-    const auto raw = static_cast<std::uint64_t>(
-        static_cast<double>(space.footprint_bytes()) / cfg_.mem.oversubscription);
-    capacity = std::max<std::uint64_t>(kLargePageSize, raw / kLargePageSize * kLargePageSize);
-  }
+  const std::uint64_t capacity = derived_capacity_bytes(cfg_, space.footprint_bytes());
 
   EventQueue queue;
   SimStats stats;
@@ -95,6 +90,16 @@ RunResult Simulator::run(Workload& workload, const RunOptions& opts) {
   result.stats = stats;
   result.allocations = classify_allocations(driver);
   return result;
+}
+
+std::uint64_t derived_capacity_bytes(const SimConfig& cfg, std::uint64_t footprint_bytes) {
+  std::uint64_t capacity = cfg.mem.device_capacity_bytes;
+  if (cfg.mem.oversubscription > 0.0) {
+    const auto raw = static_cast<std::uint64_t>(
+        static_cast<double>(footprint_bytes) / cfg.mem.oversubscription);
+    capacity = std::max<std::uint64_t>(kLargePageSize, raw / kLargePageSize * kLargePageSize);
+  }
+  return capacity;
 }
 
 RunResult run_workload(const std::string& workload_name, SimConfig cfg, double oversub,

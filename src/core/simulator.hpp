@@ -93,6 +93,14 @@ class Simulator {
   RunOptions default_opts_;  ///< populated by the deprecated setters only
 };
 
+/// Device capacity a run will use: SimConfig::mem.device_capacity_bytes, or —
+/// when mem.oversubscription > 0 — footprint / oversubscription rounded down
+/// to a 2 MB multiple (floored at one large page). Shared by Simulator::run
+/// and the differential reference model (check/refmodel.hpp) so both derive
+/// the same capacity from the same inputs.
+[[nodiscard]] std::uint64_t derived_capacity_bytes(const SimConfig& cfg,
+                                                   std::uint64_t footprint_bytes);
+
 /// Convenience: build + run a named workload at a given oversubscription.
 /// `oversub` <= 0 keeps the configured capacity; otherwise capacity =
 /// footprint / oversub. Thin wrapper over run_request() (sim/runner.hpp),

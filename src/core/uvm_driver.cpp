@@ -16,7 +16,8 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
       table_(space),
       device_(capacity_bytes),
       counters_(div_ceil(space.span_end(), cfg.mem.counter_granularity),
-                static_cast<std::uint32_t>(std::countr_zero(cfg.mem.counter_granularity))),
+                static_cast<std::uint32_t>(std::countr_zero(cfg.mem.counter_granularity)),
+                cfg.mem.counter_count_bits),
       eviction_(cfg.mem.eviction, cfg.mem.eviction_granularity),
       prefetcher_(make_prefetcher(cfg.mem.prefetcher, cfg.rng_seed)),
       policy_(make_policy(cfg.policy)),
@@ -140,6 +141,10 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
   }
 
   if (d == MigrationDecision::kRemoteAccess) {
+    if (trace_ != nullptr) {
+      trace_->on_decision(now, addr, type, snap.post_count, snap.round_trips, d,
+                          /*write_forced=*/false);
+    }
     ++stats_.decide_remote;
     // Multi-GPU: a read whose block sits in a peer's memory is served over
     // the peer fabric instead of host PCIe.
@@ -177,6 +182,9 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
     }
   }
   if (write_forced) ++stats_.write_forced_migrations;
+  if (trace_ != nullptr) {
+    trace_->on_decision(now, addr, type, snap.post_count, snap.round_trips, d, write_forced);
+  }
 
   ++stats_.far_faults;
   raise_fault(b, w, /*with_prefetch=*/!write_forced);
@@ -223,6 +231,7 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
       victim_buf_);
   const std::vector<BlockNum>& victims = victim_buf_;
   if (victims.empty()) return false;
+  if (trace_ != nullptr) trace_->on_eviction(now, faulting_chunk, victims);
 
   ++stats_.evictions;
   for (BlockNum v : victims) {
@@ -244,6 +253,7 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
 }
 
 void UvmDriver::enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_before) {
+  if (trace_ != nullptr) trace_->on_migration(now, b, demand);
   if (table_.block(b).round_trips >= 1) {
     stats_.pages_thrashed += kPagesPerBlock;
     if (!table_.block(b).thrashed_once) {
@@ -287,6 +297,7 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
     bool demand_ok = device_.reserve(1);
     while (!demand_ok) {
       device_.note_full();
+      if (trace_ != nullptr) trace_->on_device_full(now);
       if (!evict_for(fault_chunk, now, writeback_ready)) break;
       demand_ok = device_.reserve(1);
     }
@@ -309,6 +320,7 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
       bool ok = device_.reserve(1);
       while (!ok) {
         device_.note_full();
+        if (trace_ != nullptr) trace_->on_device_full(now);
         if (!evict_for(fault_chunk, now, writeback_ready)) break;
         ok = device_.reserve(1);
       }
@@ -363,6 +375,7 @@ void UvmDriver::preload_all(std::function<void(Cycle)> on_done) {
 
 void UvmDriver::on_block_arrival(BlockNum b) {
   const Cycle now = queue_.now();
+  if (trace_ != nullptr) trace_->on_arrival(now, b);
   table_.mark_resident(b, now);
   if (peers_ != nullptr) peers_->set_resident(b, gpu_id_);
   UVM_CHECK(in_flight_ > 0, "UvmDriver: block " << b

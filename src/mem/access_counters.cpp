@@ -7,8 +7,17 @@
 
 namespace uvmsim {
 
-AccessCounterTable::AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift)
-    : regs_(units, 0u), unit_shift_(unit_shift) {}
+AccessCounterTable::AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift,
+                                       std::uint32_t count_bits)
+    : regs_(units, 0u),
+      unit_shift_(unit_shift),
+      count_bits_(count_bits),
+      count_max_((1u << count_bits) - 1),
+      trip_max_(count_bits >= 32 ? 0u : (1u << (32u - count_bits)) - 1) {
+  UVM_CHECK(count_bits >= kMinCountBits && count_bits <= kMaxCountBits,
+            "AccessCounterTable: count_bits " << count_bits << " outside ["
+                << kMinCountBits << ", " << kMaxCountBits << ']');
+}
 
 void AccessCounterTable::notify_count(std::uint64_t u, std::uint32_t old_count,
                                       std::uint32_t new_count) {
@@ -19,27 +28,27 @@ void AccessCounterTable::notify_count(std::uint64_t u, std::uint32_t old_count,
 
 std::uint32_t AccessCounterTable::record_access(VirtAddr a, std::uint32_t n) {
   const std::uint64_t u = unit_of(a);
-  std::uint32_t trips = regs_[u] >> kCountBits;
-  std::uint64_t cnt = (regs_[u] & kCountMax) + static_cast<std::uint64_t>(n);
-  if (cnt >= kCountMax) {
+  std::uint32_t trips = regs_[u] >> count_bits_;
+  std::uint64_t cnt = (regs_[u] & count_max_) + static_cast<std::uint64_t>(n);
+  if (cnt >= count_max_) {
     halve_all();
-    trips = regs_[u] >> kCountBits;
-    cnt = (regs_[u] & kCountMax) + static_cast<std::uint64_t>(n);
-    cnt = std::min<std::uint64_t>(cnt, kCountMax - 1);
+    trips = regs_[u] >> count_bits_;
+    cnt = (regs_[u] & count_max_) + static_cast<std::uint64_t>(n);
+    cnt = std::min<std::uint64_t>(cnt, count_max_ - 1);
   }
   // Clamp-at-saturation: the global halving must have left headroom.
-  UVM_CHECK(cnt < kCountMax, "AccessCounterTable: unit " << u << " count " << cnt
+  UVM_CHECK(cnt < count_max_, "AccessCounterTable: unit " << u << " count " << cnt
                 << " not clamped below saturation (halvings=" << halvings_ << ')');
-  const std::uint32_t old_count = regs_[u] & kCountMax;
-  regs_[u] = (trips << kCountBits) | static_cast<std::uint32_t>(cnt);
+  const std::uint32_t old_count = regs_[u] & count_max_;
+  regs_[u] = (trips << count_bits_) | static_cast<std::uint32_t>(cnt);
   notify_count(u, old_count, static_cast<std::uint32_t>(cnt));
   return static_cast<std::uint32_t>(cnt);
 }
 
 void AccessCounterTable::reset_count(VirtAddr a) {
   const std::uint64_t u = unit_of(a);
-  const std::uint32_t old_count = regs_[u] & kCountMax;
-  regs_[u] &= ~kCountMax;
+  const std::uint32_t old_count = regs_[u] & count_max_;
+  regs_[u] &= ~count_max_;
   notify_count(u, old_count, 0);
 }
 
@@ -48,24 +57,24 @@ void AccessCounterTable::reset_range(VirtAddr addr, std::uint64_t bytes) {
   const std::uint64_t first = unit_of(addr);
   const std::uint64_t last = unit_of(addr + bytes - 1);
   for (std::uint64_t u = first; u <= last && u < regs_.size(); ++u) {
-    const std::uint32_t old_count = regs_[u] & kCountMax;
-    regs_[u] &= ~kCountMax;
+    const std::uint32_t old_count = regs_[u] & count_max_;
+    regs_[u] &= ~count_max_;
     notify_count(u, old_count, 0);
   }
 }
 
 void AccessCounterTable::record_round_trip(VirtAddr a) {
   const std::uint64_t u = unit_of(a);
-  std::uint32_t trips = regs_[u] >> kCountBits;
-  if (trips + 1 >= kTripMax) {
+  std::uint32_t trips = regs_[u] >> count_bits_;
+  if (trips + 1 >= trip_max_) {
     halve_all();
-    trips = regs_[u] >> kCountBits;
+    trips = regs_[u] >> count_bits_;
   }
-  UVM_CHECK(trips + 1 < kTripMax, "AccessCounterTable: unit " << u
+  UVM_CHECK(trips + 1 < trip_max_, "AccessCounterTable: unit " << u
                 << " round-trip field " << trips + 1
                 << " not clamped below saturation");
-  const std::uint32_t cnt = regs_[u] & kCountMax;
-  regs_[u] = ((trips + 1) << kCountBits) | cnt;
+  const std::uint32_t cnt = regs_[u] & count_max_;
+  regs_[u] = ((trips + 1) << count_bits_) | cnt;
 }
 
 std::uint64_t AccessCounterTable::range_count(VirtAddr addr, std::uint64_t bytes) const noexcept {
@@ -74,16 +83,16 @@ std::uint64_t AccessCounterTable::range_count(VirtAddr addr, std::uint64_t bytes
   const std::uint64_t last = unit_of(addr + bytes - 1);
   std::uint64_t total = 0;
   for (std::uint64_t u = first; u <= last && u < regs_.size(); ++u) {
-    total += regs_[u] & kCountMax;
+    total += regs_[u] & count_max_;
   }
   return total;
 }
 
 void AccessCounterTable::halve_all() noexcept {
   for (std::uint32_t& r : regs_) {
-    const std::uint32_t trips = (r >> kCountBits) >> 1;
-    const std::uint32_t cnt = (r & kCountMax) >> 1;
-    r = (trips << kCountBits) | cnt;
+    const std::uint32_t trips = (r >> count_bits_) >> 1;
+    const std::uint32_t cnt = (r & count_max_) >> 1;
+    r = (trips << count_bits_) | cnt;
   }
   ++halvings_;
   // A global rescale moves every register at once; the index rebuilds its

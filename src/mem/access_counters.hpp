@@ -5,6 +5,11 @@
 // remote, giving the historic view the paper argues for — and the top 5 bits
 // count round trips (evictions). When either field saturates, every counter
 // in the table is halved (not reset) to preserve the relative hotness order.
+//
+// The 27/5 split is the hardware default; the count/trip bit split is a
+// constructor parameter (MemConfig::counter_count_bits) so test harnesses —
+// the differential fuzzer in particular — can shrink the registers until
+// saturation halvings happen within a handful of accesses instead of 2^27.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +27,25 @@ class AccessCounterTable {
   static constexpr std::uint32_t kTripBits = 5;
   static constexpr std::uint32_t kCountMax = (1u << kCountBits) - 1;
   static constexpr std::uint32_t kTripMax = (1u << kTripBits) - 1;
+  /// Legal range for the per-instance count-field width; the trip field gets
+  /// the remaining 32 - count_bits bits (so trips span [2, 24] bits).
+  static constexpr std::uint32_t kMinCountBits = 8;
+  static constexpr std::uint32_t kMaxCountBits = 30;
 
   /// `units` = number of counter units covering the VA span;
-  /// `unit_shift` = log2(bytes per unit), e.g. 16 for 64 KB.
-  AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift);
+  /// `unit_shift` = log2(bytes per unit), e.g. 16 for 64 KB;
+  /// `count_bits` = width of the access-count field (trips get the rest).
+  AccessCounterTable(std::uint64_t units, std::uint32_t unit_shift,
+                     std::uint32_t count_bits = kCountBits);
 
   [[nodiscard]] std::uint64_t unit_of(VirtAddr a) const noexcept { return a >> unit_shift_; }
   [[nodiscard]] std::uint64_t units() const noexcept { return regs_.size(); }
   [[nodiscard]] std::uint32_t unit_shift() const noexcept { return unit_shift_; }
+  [[nodiscard]] std::uint32_t count_bits() const noexcept { return count_bits_; }
+  /// Saturation value of the count field; counts clamp strictly below it.
+  [[nodiscard]] std::uint32_t count_max() const noexcept { return count_max_; }
+  /// Saturation value of the round-trip field.
+  [[nodiscard]] std::uint32_t trip_max() const noexcept { return trip_max_; }
 
   /// Record `n` coalesced accesses to the unit holding `a`.
   /// Returns the post-increment access count. Triggers a global halving when
@@ -40,16 +56,16 @@ class AccessCounterTable {
   void record_round_trip(VirtAddr a);
 
   [[nodiscard]] std::uint32_t count(VirtAddr a) const noexcept {
-    return regs_[unit_of(a)] & kCountMax;
+    return regs_[unit_of(a)] & count_max_;
   }
   [[nodiscard]] std::uint32_t round_trips(VirtAddr a) const noexcept {
-    return regs_[unit_of(a)] >> kCountBits;
+    return regs_[unit_of(a)] >> count_bits_;
   }
   [[nodiscard]] std::uint32_t count_unit(std::uint64_t u) const noexcept {
-    return regs_[u] & kCountMax;
+    return regs_[u] & count_max_;
   }
   [[nodiscard]] std::uint32_t round_trips_unit(std::uint64_t u) const noexcept {
-    return regs_[u] >> kCountBits;
+    return regs_[u] >> count_bits_;
   }
 
   /// Aggregate access count over the units covering [addr, addr+bytes).
@@ -78,6 +94,9 @@ class AccessCounterTable {
 
   std::vector<std::uint32_t> regs_;
   std::uint32_t unit_shift_;
+  std::uint32_t count_bits_;
+  std::uint32_t count_max_;
+  std::uint32_t trip_max_;
   std::uint64_t halvings_ = 0;
   EvictionIndex* index_ = nullptr;
 };

@@ -72,6 +72,8 @@ void SimConfig::validate() const {
   if (mem.counter_granularity != kBasicBlockSize &&
       mem.counter_granularity != kPageSize)
     fail("counter_granularity must be 64KB or 4KB");
+  if (mem.counter_count_bits < 8 || mem.counter_count_bits > 30)
+    fail("counter_count_bits must be in [8, 30]");
   if (policy.static_threshold == 0) fail("static_threshold (ts) must be >= 1");
   if (policy.migration_penalty == 0) fail("migration_penalty (p) must be >= 1");
   if (audit.interval_events == 0) fail("audit.interval_events must be >= 1");

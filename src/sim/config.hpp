@@ -93,6 +93,12 @@ struct MemConfig {
   Cycle eviction_protect_cycles = 65536;
   /// Access-counter granularity; 64 KB (paper's optimization) or 4 KB.
   std::uint64_t counter_granularity = kBasicBlockSize;
+  /// Width of the access-count field in each 32-bit counter register; the
+  /// round-trip field gets the remaining 32 - counter_count_bits bits.
+  /// Default 27/5 is the hardware split. Smaller widths saturate (and thus
+  /// halve the whole table) earlier — the differential fuzzer shrinks this
+  /// so halving bugs reproduce in a handful of accesses.
+  std::uint32_t counter_count_bits = 27;
   /// When > 0, device capacity is derived from the workload footprint as
   /// footprint / oversubscription (e.g. 1.25 => working set is 125 % of the
   /// device memory), overriding device_capacity_bytes. This mirrors the

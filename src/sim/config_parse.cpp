@@ -185,6 +185,10 @@ const std::map<std::string, Setter>& setters() {
        [](SimConfig& c, const std::string& k, const std::string& v) {
          c.mem.counter_granularity = parse_u64(k, v);
        }},
+      {"mem.counter_count_bits",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.counter_count_bits = static_cast<std::uint32_t>(parse_u64(k, v));
+       }},
       {"mem.oversubscription",
        [](SimConfig& c, const std::string& k, const std::string& v) {
          c.mem.oversubscription = parse_f64(k, v);
@@ -335,6 +339,7 @@ std::string to_config_string(const SimConfig& c) {
      << "mem.eviction_granularity = " << c.mem.eviction_granularity << '\n'
      << "mem.eviction_protect_cycles = " << c.mem.eviction_protect_cycles << '\n'
      << "mem.counter_granularity = " << c.mem.counter_granularity << '\n'
+     << "mem.counter_count_bits = " << c.mem.counter_count_bits << '\n'
      << "mem.oversubscription = " << c.mem.oversubscription << '\n'
      << "policy = " << policy << '\n'
      << "policy.static_threshold = " << c.policy.static_threshold << '\n'

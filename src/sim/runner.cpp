@@ -22,8 +22,12 @@ double elapsed_ms(Clock::time_point since) {
 RunResult run_request(const RunRequest& request, const RunOptions& opts) {
   SimConfig cfg = request.config;
   cfg.mem.oversubscription = request.oversub;
-  auto workload = make_workload(request.workload, request.params);
   Simulator sim(cfg);
+  if (request.trace) {
+    TraceWorkload workload(*request.trace);
+    return sim.run(workload, opts);
+  }
+  auto workload = make_workload(request.workload, request.params);
   return sim.run(*workload, opts);
 }
 
@@ -46,7 +50,9 @@ BatchResult run_batch(const std::vector<RunRequest>& requests, const BatchOption
     entry.request = requests[i];
     const auto run_start = Clock::now();
     try {
-      entry.result = run_request(requests[i]);
+      const RunOptions run_opts =
+          opts.make_options ? opts.make_options(requests[i], i) : RunOptions{};
+      entry.result = run_request(requests[i], run_opts);
       entry.peak_footprint_bytes = entry.result.footprint_bytes;
       entry.audit_passes = entry.result.stats.audit_passes;
       entry.audit_violations = entry.result.stats.audit_violations;

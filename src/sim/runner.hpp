@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "trace/replay.hpp"
 #include "workloads/workload.hpp"
 
 namespace uvmsim {
@@ -30,6 +32,10 @@ struct RunRequest {
   /// Working-set / device-capacity factor; <= 0 keeps config's capacity.
   double oversub = 0.0;
   std::string label;         ///< free-form tag carried into the BatchEntry
+  /// When set, the run replays this recorded trace (TraceWorkload) instead
+  /// of building `workload` by name. Shared so a fuzz batch can reference
+  /// one trace from many requests without copying record vectors.
+  std::shared_ptr<const RecordedTrace> trace;
 };
 
 /// The single request-based entry point every harness funnels through.
@@ -70,6 +76,11 @@ struct BatchOptions {
   /// entry and the completed/total counts. Calls are serialized (at most one
   /// at a time) but arrive in completion order, not request order.
   std::function<void(const BatchEntry&, std::size_t done, std::size_t total)> on_done;
+  /// Per-run observation factory: called on the executing worker thread just
+  /// before each run to build its RunOptions (trace sinks, advice hooks, …).
+  /// The returned options — and anything they point at — must stay valid for
+  /// the duration of that run. Unset = observe nothing.
+  std::function<RunOptions(const RunRequest&, std::size_t index)> make_options;
 };
 
 /// Execute every request (concurrently when opts.jobs != 1) and collect the

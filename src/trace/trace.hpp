@@ -14,6 +14,14 @@
 namespace uvmsim {
 
 /// Receives every GPU access when SimConfig::collect_traces is set.
+///
+/// Beyond the access stream, the driver also reports its memory-management
+/// *decisions* through the default-no-op hooks below. They exist for
+/// lockstep oracles (check/refmodel.hpp): an observer that maintains an
+/// independent copy of the driver state needs to see exactly which policy
+/// decision was taken, which blocks were evicted/migrated and when transfers
+/// landed. All hooks are pure observation — the driver never changes
+/// behavior based on an attached sink.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -21,6 +29,25 @@ class TraceSink {
                          bool device_resident) = 0;
   /// Called by the simulator before each kernel launch.
   virtual void on_kernel_begin(std::uint32_t launch_index, const std::string& name) = 0;
+
+  /// Policy consultation for a host-resident block: fires immediately after
+  /// on_access() for the same access, carrying the counter snapshot the
+  /// policy saw and the final decision (advice/throttle overrides applied).
+  virtual void on_decision(Cycle /*now*/, VirtAddr /*addr*/, AccessType /*type*/,
+                           std::uint32_t /*post_count*/, std::uint32_t /*round_trips*/,
+                           MigrationDecision /*decision*/, bool /*write_forced*/) {}
+  /// One eviction pass: `victims` (all in one 2 MB chunk) were selected
+  /// while servicing a fault on `faulting_chunk` and are now host-resident.
+  virtual void on_eviction(Cycle /*now*/, ChunkNum /*faulting_chunk*/,
+                           const std::vector<BlockNum>& /*victims*/) {}
+  /// A block transfer H2D was enqueued (device space already reserved).
+  /// `demand` distinguishes demand faults from prefetch expansion.
+  virtual void on_migration(Cycle /*now*/, BlockNum /*block*/, bool /*demand*/) {}
+  /// An in-flight migration landed; the block is device-resident now.
+  virtual void on_arrival(Cycle /*now*/, BlockNum /*block*/) {}
+  /// The device ran out of free space (DeviceMemory::note_full — the sticky
+  /// event that gates the "Oversub" static scheme).
+  virtual void on_device_full(Cycle /*now*/) {}
 };
 
 /// Fig 2: per-4KB-page access counts, split into read-only pages and pages
@@ -102,6 +129,25 @@ class MultiSink final : public TraceSink {
   }
   void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override {
     for (auto* s : sinks_) s->on_kernel_begin(launch_index, name);
+  }
+  void on_decision(Cycle now, VirtAddr addr, AccessType type, std::uint32_t post_count,
+                   std::uint32_t round_trips, MigrationDecision decision,
+                   bool write_forced) override {
+    for (auto* s : sinks_)
+      s->on_decision(now, addr, type, post_count, round_trips, decision, write_forced);
+  }
+  void on_eviction(Cycle now, ChunkNum faulting_chunk,
+                   const std::vector<BlockNum>& victims) override {
+    for (auto* s : sinks_) s->on_eviction(now, faulting_chunk, victims);
+  }
+  void on_migration(Cycle now, BlockNum block, bool demand) override {
+    for (auto* s : sinks_) s->on_migration(now, block, demand);
+  }
+  void on_arrival(Cycle now, BlockNum block) override {
+    for (auto* s : sinks_) s->on_arrival(now, block);
+  }
+  void on_device_full(Cycle now) override {
+    for (auto* s : sinks_) s->on_device_full(now);
   }
 
  private:

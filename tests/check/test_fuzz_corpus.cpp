@@ -1,0 +1,70 @@
+// Corpus regression: every shrunk repro in tests/data/fuzz_corpus/ replays
+// through the simulator in lockstep with the reference model. With a
+// faithful oracle the pair must agree (the corpus holds no real divergences
+// — those would be bugs to fix, not archive); with the fault recorded in the
+// entry's sidecar re-injected, the divergence that produced the entry must
+// still reproduce. The second half keeps the corpus honest: an entry whose
+// fault stops reproducing has been invalidated by a semantics change and
+// must be re-shrunk or retired.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+
+namespace uvmsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_entries() {
+  const fs::path dir = fs::path(UVMSIM_TEST_DATA_DIR) / "fuzz_corpus";
+  std::vector<fs::path> traces;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".trc") traces.push_back(e.path());
+  }
+  std::sort(traces.begin(), traces.end());
+  return traces;
+}
+
+TEST(FuzzCorpus, HasEntries) { EXPECT_GE(corpus_entries().size(), 6u); }
+
+TEST(FuzzCorpus, FaithfulOracleAgreesOnEveryEntry) {
+  for (const fs::path& trc : corpus_entries()) {
+    fs::path cfg = trc;
+    cfg.replace_extension(".cfg");
+    ASSERT_TRUE(fs::exists(cfg)) << "missing sidecar for " << trc;
+    const FuzzCase fc = load_case(trc.string(), cfg.string());
+    const CaseOutcome out = run_case(fc, InjectedFault::kNone);
+    EXPECT_FALSE(out.interesting) << trc << ": " << out.message;
+  }
+}
+
+TEST(FuzzCorpus, RecordedFaultStillReproduces) {
+  for (const fs::path& trc : corpus_entries()) {
+    fs::path cfg = trc;
+    cfg.replace_extension(".cfg");
+    InjectedFault fault = InjectedFault::kNone;
+    const FuzzCase fc = load_case(trc.string(), cfg.string(), &fault);
+    if (fault == InjectedFault::kNone) continue;  // promoted real-bug repro
+    const CaseOutcome out = run_case(fc, fault);
+    EXPECT_TRUE(out.interesting)
+        << trc << ": fault " << to_cstr(fault) << " no longer reproduces";
+  }
+}
+
+TEST(FuzzCorpus, EntriesAreMinimal) {
+  for (const fs::path& trc : corpus_entries()) {
+    fs::path cfg = trc;
+    cfg.replace_extension(".cfg");
+    const FuzzCase fc = load_case(trc.string(), cfg.string());
+    EXPECT_LE(fc.trace->total_records(), 64u) << trc;
+    EXPECT_GE(fc.trace->total_records(), 1u) << trc;
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

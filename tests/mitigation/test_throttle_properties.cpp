@@ -1,0 +1,141 @@
+// Property-based tests for the thrash throttle: randomized fault sequences
+// asserting the hysteresis invariants — pins only above the detection
+// threshold, every pin expires after exactly one cooldown, a pinned block's
+// expiry never extends while pinned (continuous faulting cannot deadlock a
+// block into permanent host residence), and trim() is behavior-neutral.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mitigation/thrash_throttle.hpp"
+#include "sim/rng.hpp"
+
+namespace uvmsim {
+namespace {
+
+ThrashThrottleConfig make_cfg(Rng& rng) {
+  ThrashThrottleConfig cfg;
+  cfg.enabled = true;
+  cfg.detect_faults = static_cast<std::uint32_t>(rng.between(1, 6));
+  cfg.pin_cooldown = rng.between(1, 500000);
+  return cfg;
+}
+
+// A fault below the detection threshold never pins, no matter the history.
+TEST(ThrottleProperties, NeverPinsBelowDetectionThreshold) {
+  Rng rng(0x7007a);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const ThrashThrottleConfig cfg = make_cfg(rng);
+    ThrashThrottle throttle(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 50; ++i) {
+      now += rng.below(1000);
+      const BlockNum b = rng.below(8);
+      throttle.note_fault(b, now, static_cast<std::uint32_t>(rng.below(cfg.detect_faults)));
+      ASSERT_FALSE(throttle.is_throttled(b, now));
+    }
+    ASSERT_EQ(throttle.pins(), 0u);
+  }
+}
+
+// Disabled mitigation is inert regardless of inputs.
+TEST(ThrottleProperties, DisabledNeverThrottles) {
+  ThrashThrottleConfig cfg;  // enabled = false
+  ThrashThrottle throttle(cfg);
+  Rng rng(0x7007b);
+  for (int i = 0; i < 1000; ++i) {
+    const BlockNum b = rng.below(8);
+    const Cycle now = rng.below(1u << 20);
+    throttle.note_fault(b, now, static_cast<std::uint32_t>(rng.below(100)));
+    ASSERT_FALSE(throttle.is_throttled(b, now));
+  }
+}
+
+// Hysteresis never deadlocks: once pinned at cycle t, the block unpins at
+// exactly t + cooldown even under continuous re-faulting while pinned —
+// note_fault on an already-pinned block must not extend the pin, or a
+// steadily thrashing block would stay host-pinned forever.
+TEST(ThrottleProperties, ContinuousFaultingCannotExtendAPin) {
+  Rng rng(0x7007c);
+  for (int trial = 0; trial < 500; ++trial) {
+    ThrashThrottleConfig cfg = make_cfg(rng);
+    cfg.pin_cooldown = rng.between(10, 5000);
+    ThrashThrottle throttle(cfg);
+    const BlockNum b = 3;
+    const Cycle t0 = rng.below(1u << 20);
+    throttle.note_fault(b, t0, cfg.detect_faults);
+    ASSERT_TRUE(throttle.is_throttled(b, t0));
+    // Hammer the pinned block with eligible faults throughout the window.
+    for (Cycle t = t0; t < t0 + cfg.pin_cooldown; t += 1 + rng.below(64)) {
+      throttle.note_fault(b, t, cfg.detect_faults + 10);
+      ASSERT_TRUE(throttle.is_throttled(b, t));
+    }
+    ASSERT_FALSE(throttle.is_throttled(b, t0 + cfg.pin_cooldown))
+        << "pin outlived its cooldown under continuous faulting";
+    ASSERT_EQ(throttle.pins(), 1u);
+  }
+}
+
+// After expiry the next eligible fault re-pins for one more cooldown — the
+// retry the paper describes ("migration is retried and typically re-pins").
+TEST(ThrottleProperties, RepinsAfterExpiry) {
+  Rng rng(0x7007d);
+  for (int trial = 0; trial < 500; ++trial) {
+    const ThrashThrottleConfig cfg = make_cfg(rng);
+    ThrashThrottle throttle(cfg);
+    const BlockNum b = rng.below(8);
+    Cycle now = rng.below(1u << 20);
+    for (int round = 1; round <= 4; ++round) {
+      throttle.note_fault(b, now, cfg.detect_faults);
+      ASSERT_TRUE(throttle.is_throttled(b, now));
+      ASSERT_FALSE(throttle.is_throttled(b, now + cfg.pin_cooldown));
+      ASSERT_EQ(throttle.pins(), static_cast<std::uint64_t>(round));
+      now += cfg.pin_cooldown + rng.below(1000);
+    }
+  }
+}
+
+// Pins are per-block: pinning one block never throttles another.
+TEST(ThrottleProperties, PinsAreIndependentAcrossBlocks) {
+  Rng rng(0x7007e);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const ThrashThrottleConfig cfg = make_cfg(rng);
+    ThrashThrottle throttle(cfg);
+    const Cycle now = rng.below(1u << 20);
+    const BlockNum pinned = rng.below(8);
+    throttle.note_fault(pinned, now, cfg.detect_faults);
+    for (BlockNum b = 0; b < 8; ++b) {
+      ASSERT_EQ(throttle.is_throttled(b, now), b == pinned);
+    }
+  }
+}
+
+// trim() frees tracking state but never changes any future is_throttled
+// answer: dropping a pin is only legal once it can no longer fire.
+TEST(ThrottleProperties, TrimIsBehaviorNeutral) {
+  Rng rng(0x7007f);
+  for (int trial = 0; trial < 500; ++trial) {
+    const ThrashThrottleConfig cfg = make_cfg(rng);
+    ThrashThrottle a(cfg);
+    ThrashThrottle b(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 100; ++i) {
+      now += rng.below(static_cast<std::uint64_t>(cfg.pin_cooldown) * 2 + 1);
+      const BlockNum blk = rng.below(8);
+      const auto trips = static_cast<std::uint32_t>(rng.below(cfg.detect_faults * 2));
+      a.note_fault(blk, now, trips);
+      b.note_fault(blk, now, trips);
+      b.trim(now);  // only b trims, aggressively
+      for (BlockNum q = 0; q < 8; ++q) {
+        const Cycle probe = now + rng.below(static_cast<std::uint64_t>(cfg.pin_cooldown) * 2);
+        ASSERT_EQ(a.is_throttled(q, probe), b.is_throttled(q, probe))
+            << "trim changed behavior for block " << q << " at cycle " << probe;
+      }
+    }
+    ASSERT_LE(b.tracked_blocks(), a.tracked_blocks());
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

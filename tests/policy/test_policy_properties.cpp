@@ -1,0 +1,185 @@
+// Property-based tests for the migration policies: randomized sweeps over
+// the full input domain asserting the algebraic properties the paper's
+// Equation 1 promises, instead of spot-checking a handful of points.
+// Deterministic by construction (uvmsim::Rng, fixed seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "policy/migration_policy.hpp"
+#include "sim/rng.hpp"
+
+namespace uvmsim {
+namespace {
+
+constexpr std::uint32_t kThresholds[] = {1, 2, 4, 8, 16, 32};
+constexpr std::uint64_t kPenalties[] = {1, 2, 4, 8, 1024, 1048576};
+
+// While never oversubscribed, Equation 1 interpolates between first-touch
+// and the static threshold: 1 <= td <= ts + 1 whenever resident <= capacity.
+TEST(PolicyProperties, AdaptiveThresholdBoundsNotOversubscribed) {
+  Rng rng(0xbead1);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t ts = kThresholds[rng.below(std::size(kThresholds))];
+    const std::uint64_t capacity = rng.between(1, 1u << 20);
+    const std::uint64_t resident = rng.below(capacity + 1);  // <= capacity
+    const std::uint64_t p = kPenalties[rng.below(std::size(kPenalties))];
+    const std::uint64_t td =
+        adaptive_threshold(ts, resident, capacity, /*oversubscribed=*/false,
+                           static_cast<std::uint32_t>(rng.below(100)), p);
+    ASSERT_GE(td, 1u) << "ts=" << ts << " res=" << resident << "/" << capacity;
+    ASSERT_LE(td, static_cast<std::uint64_t>(ts) + 1)
+        << "ts=" << ts << " res=" << resident << "/" << capacity;
+  }
+}
+
+// Degenerate devices: an empty device is first-touch (td = 1); zero capacity
+// never divides by zero.
+TEST(PolicyProperties, AdaptiveThresholdDegenerateDevices) {
+  for (const std::uint32_t ts : kThresholds) {
+    EXPECT_EQ(adaptive_threshold(ts, 0, 1u << 14, false, 0, 8), 1u);
+    EXPECT_EQ(adaptive_threshold(ts, 0, 0, false, 0, 8), 1u);
+  }
+}
+
+// Once oversubscribed the threshold is exactly ts * (r + 1) * p.
+TEST(PolicyProperties, AdaptiveThresholdOversubscribedExact) {
+  Rng rng(0xbead2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t ts = kThresholds[rng.below(std::size(kThresholds))];
+    const std::uint64_t p = kPenalties[rng.below(std::size(kPenalties))];
+    const auto r = static_cast<std::uint32_t>(rng.below(1000));
+    const std::uint64_t td = adaptive_threshold(ts, rng.below(1u << 20), rng.below(1u << 20),
+                                                /*oversubscribed=*/true, r, p);
+    ASSERT_EQ(td, static_cast<std::uint64_t>(ts) * (r + 1) * p);
+  }
+}
+
+// The threshold is monotone in the round-trip count r (oversubscribed
+// branch) and in device occupancy (non-oversubscribed branch): more
+// thrashing or a fuller device never makes migration EASIER.
+TEST(PolicyProperties, AdaptiveThresholdMonotoneInRoundTrips) {
+  Rng rng(0xbead3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t ts = kThresholds[rng.below(std::size(kThresholds))];
+    const std::uint64_t p = kPenalties[rng.below(std::size(kPenalties))];
+    auto r1 = static_cast<std::uint32_t>(rng.below(1000));
+    auto r2 = static_cast<std::uint32_t>(rng.below(1000));
+    if (r1 > r2) std::swap(r1, r2);
+    ASSERT_LE(adaptive_threshold(ts, 0, 0, true, r1, p),
+              adaptive_threshold(ts, 0, 0, true, r2, p));
+  }
+}
+
+TEST(PolicyProperties, AdaptiveThresholdMonotoneInOccupancy) {
+  Rng rng(0xbead4);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t ts = kThresholds[rng.below(std::size(kThresholds))];
+    const std::uint64_t capacity = rng.between(1, 1u << 20);
+    std::uint64_t a = rng.below(capacity + 1);
+    std::uint64_t b = rng.below(capacity + 1);
+    if (a > b) std::swap(a, b);
+    ASSERT_LE(adaptive_threshold(ts, a, capacity, false, 0, 1),
+              adaptive_threshold(ts, b, capacity, false, 0, 1));
+  }
+}
+
+// decide() is consistent with effective_threshold(): for reads, migrate
+// exactly when post_count >= td. Checked across all three policy classes.
+TEST(PolicyProperties, DecisionMatchesEffectiveThreshold) {
+  Rng rng(0xbead5);
+  PolicyConfig pc;
+  for (int i = 0; i < 20000; ++i) {
+    pc.policy = static_cast<PolicyKind>(rng.below(4));
+    pc.static_threshold = kThresholds[rng.below(std::size(kThresholds))];
+    pc.migration_penalty = kPenalties[rng.below(std::size(kPenalties))];
+    pc.write_triggers_migration = rng.chance(0.5);
+    pc.adaptive_write_migrates = rng.chance(0.5);
+    const auto policy = make_policy(pc);
+
+    PolicyContext ctx;
+    ctx.capacity_pages = rng.between(1, 1u << 16);
+    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
+    ctx.oversubscribed = rng.chance(0.5);
+    ctx.overcommitted = rng.chance(0.5);
+    CounterSnapshot c;
+    // post_count >= 1 always holds in the driver: the snapshot is taken
+    // after the access that triggered the consultation was counted.
+    c.post_count = static_cast<std::uint32_t>(rng.between(1, 100));
+    c.round_trips = static_cast<std::uint32_t>(rng.below(20));
+
+    const std::uint64_t td = policy->effective_threshold(c, ctx);
+    const MigrationDecision d = policy->decide(AccessType::kRead, c, ctx);
+    ASSERT_EQ(d == MigrationDecision::kMigrate, c.post_count >= td)
+        << policy->name() << " post=" << c.post_count << " td=" << td;
+  }
+}
+
+// Migration decisions are monotone in the access count: once a block is hot
+// enough to migrate, more accesses never flip it back to remote (all other
+// inputs held fixed).
+TEST(PolicyProperties, DecisionMonotoneInPostCount) {
+  Rng rng(0xbead6);
+  PolicyConfig pc;
+  for (int i = 0; i < 10000; ++i) {
+    pc.policy = static_cast<PolicyKind>(rng.below(4));
+    pc.static_threshold = kThresholds[rng.below(std::size(kThresholds))];
+    pc.migration_penalty = kPenalties[rng.below(std::size(kPenalties))];
+    const auto policy = make_policy(pc);
+
+    PolicyContext ctx;
+    ctx.capacity_pages = rng.between(1, 1u << 16);
+    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
+    ctx.oversubscribed = rng.chance(0.5);
+    ctx.overcommitted = rng.chance(0.5);
+    CounterSnapshot lo, hi;
+    lo.round_trips = hi.round_trips = static_cast<std::uint32_t>(rng.below(20));
+    lo.post_count = static_cast<std::uint32_t>(rng.below(100));
+    hi.post_count = lo.post_count + static_cast<std::uint32_t>(rng.below(100));
+    if (policy->decide(AccessType::kRead, lo, ctx) == MigrationDecision::kMigrate) {
+      ASSERT_EQ(policy->decide(AccessType::kRead, hi, ctx), MigrationDecision::kMigrate)
+          << policy->name() << " regressed from migrate at post=" << lo.post_count
+          << " to remote at post=" << hi.post_count;
+    }
+  }
+}
+
+// Volta write semantics: when write_triggers_migration is set, a write to a
+// host-resident block migrates regardless of every other input ("Always" /
+// "Oversub" schemes; the oversub gate makes it first-touch anyway before the
+// device fills).
+TEST(PolicyProperties, StaticWriteAlwaysMigrates) {
+  Rng rng(0xbead7);
+  for (int i = 0; i < 10000; ++i) {
+    StaticThresholdPolicy policy(kThresholds[rng.below(std::size(kThresholds))],
+                                 /*write_migrates=*/true, rng.chance(0.5));
+    PolicyContext ctx;
+    ctx.capacity_pages = rng.between(1, 1u << 16);
+    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
+    ctx.oversubscribed = rng.chance(0.5);
+    CounterSnapshot c;  // post_count 0: frequency alone would say remote
+    ASSERT_EQ(policy.decide(AccessType::kWrite, c, ctx), MigrationDecision::kMigrate);
+  }
+}
+
+// The oversub-gated static scheme is exactly first-touch until the device
+// first fills.
+TEST(PolicyProperties, OversubGateIsFirstTouchBeforeFull) {
+  Rng rng(0xbead8);
+  for (int i = 0; i < 10000; ++i) {
+    StaticThresholdPolicy policy(kThresholds[rng.below(std::size(kThresholds))],
+                                 rng.chance(0.5), /*gate_on_oversub=*/true);
+    PolicyContext ctx;
+    ctx.capacity_pages = rng.between(1, 1u << 16);
+    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
+    ctx.oversubscribed = false;
+    CounterSnapshot c;
+    c.post_count = static_cast<std::uint32_t>(rng.below(100));
+    const auto type = rng.chance(0.5) ? AccessType::kWrite : AccessType::kRead;
+    ASSERT_EQ(policy.decide(type, c, ctx), MigrationDecision::kMigrate);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim
