@@ -26,6 +26,10 @@
 #include "mem/eviction_index.hpp"
 #include "mitigation/thrash_throttle.hpp"
 #include "multigpu/multi_gpu.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_recorder.hpp"
+#include "obs/registry.hpp"
 #include "policy/migration_policy.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "report/run_csv.hpp"

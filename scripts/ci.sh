@@ -45,6 +45,35 @@ for key in ("eviction_microbench", "event_queue", "sim_wall_ms"):
 print("perf smoke: BENCH_hotpath JSON well-formed")
 PY
 
+# Observability smoke: an audited oversubscribed run with the Chrome trace
+# writer and the registry-complete metrics recorder attached must produce a
+# parseable trace (monotone timestamps, every event family present) and a
+# metrics CSV whose header carries the registry's cumulative+delta columns
+# (docs/OBSERVABILITY.md).
+echo "==> observability smoke (--chrome-trace / --metrics)"
+build/tools/uvmsim --workload bfs --policy oversub --oversub 1.3333 \
+    --scale 0.1 --audit --set mem.counter_count_bits=8 \
+    --chrome-trace /tmp/uvmsim_trace.json --metrics /tmp/uvmsim_metrics.csv \
+    | grep '^audit:'
+python3 - /tmp/uvmsim_trace.json /tmp/uvmsim_metrics.csv <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+assert events, "trace has no events"
+ts = [e["ts"] for e in events]
+assert ts == sorted(ts), "trace timestamps are not monotone"
+names = {e["name"] for e in events}
+for need in ("fault_batch", "migrate", "evict", "counter_halving",
+             "pcie_dma_occupancy"):
+    assert need in names, f"trace is missing {need} events"
+header = open(sys.argv[2]).readline().strip().split(",")
+assert header[:2] == ["cycle", "occupancy"], header[:2]
+assert "far_faults" in header and "far_faults_delta" in header, \
+    "metrics CSV header is missing registry columns"
+print(f"observability smoke: {len(events)} trace events, "
+      f"{len(header)} metric columns")
+PY
+
 # Victim-parity audit: the auditor cross-validates the incremental eviction
 # index against the reference scan (check_eviction_index); any divergence is
 # a violation and fails the pipeline.

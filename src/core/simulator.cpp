@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "core/uvm_driver.hpp"
 #include "gpu/gpu_model.hpp"
+#include "obs/metrics_recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/runner.hpp"
 
@@ -44,10 +46,26 @@ RunResult Simulator::run(Workload& workload, const RunOptions& opts) {
       timeline->add(TimelineSample{queue.now(), driver.device().used_blocks(),
                                    driver.device().capacity_blocks(), stats.far_faults,
                                    stats.remote_accesses, stats.pages_thrashed,
-                                   stats.bytes_h2d, stats.bytes_d2h});
+                                   stats.bytes_h2d, stats.bytes_d2h, stats.blocks_migrated,
+                                   stats.blocks_prefetched, stats.peer_accesses});
       if (queue.pending() > 0) queue.schedule_in(interval, sample);
     };
     queue.schedule_in(0, sample);
+  }
+
+  // Registry-complete sampling on the shared clock: snapshots land at exact
+  // multiples of the interval so batch entries' series align row-by-row.
+  std::function<void()> metrics_sample;
+  if (opts.metrics != nullptr) {
+    UVM_CHECK(opts.metrics_interval > 0,
+              "RunOptions: metrics_interval must be > 0");
+    metrics_sample = [&, rec = opts.metrics, interval = opts.metrics_interval]() {
+      rec->sample(queue.now(), stats, driver.device().used_blocks(),
+                  driver.device().capacity_blocks());
+      if (queue.pending() > 0)
+        queue.schedule_at((queue.now() / interval + 1) * interval, metrics_sample);
+    };
+    queue.schedule_in(0, metrics_sample);
   }
 
   std::size_t next = 0;

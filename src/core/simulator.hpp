@@ -18,6 +18,10 @@
 
 namespace uvmsim {
 
+namespace obs {
+class MetricsRecorder;
+}  // namespace obs
+
 struct KernelStat {
   std::string name;
   Cycle start = 0;
@@ -59,6 +63,13 @@ struct RunOptions {
   /// the run() call; sampling stops when the event queue drains.
   Timeline* timeline = nullptr;
   Cycle timeline_interval = 100000;
+  /// Registry-complete time series (obs/metrics_recorder.hpp): every
+  /// registered metric is snapshotted at absolute multiples of
+  /// `metrics_interval` (cycle 0, k, 2k, ...). Because samples sit on that
+  /// shared clock, the series of every entry in a run_batch() align
+  /// row-by-row. Must outlive the run() call.
+  obs::MetricsRecorder* metrics = nullptr;
+  Cycle metrics_interval = 100000;
   /// Invoked after the workload builds its allocations — the place to attach
   /// cudaMemAdvise-style hints (oracle experiments).
   std::function<void(AddressSpace&)> advice_hook;

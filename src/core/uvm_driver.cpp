@@ -88,8 +88,12 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
   // schemes) only track remote accesses to host-resident pages.
   std::uint32_t post_count = 0;
   if (cfg_.policy.historic_counters() || res == Residence::kHost) {
+    const std::uint64_t prev_halvings = counters_.halvings();
     post_count = counters_.record_access(addr, count);
     stats_.counter_halvings = counters_.halvings();
+    if (trace_ != nullptr && counters_.halvings() != prev_halvings) {
+      trace_->on_counter_halving(now, counters_.halvings());
+    }
   }
   table_.touch(b, type, now);
   if (trace_ != nullptr) {
@@ -136,7 +140,11 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
   // State-of-practice mitigation (off by default): blocks detected as
   // thrashing are temporarily host-pinned, overriding the migrate decision.
   if (d == MigrationDecision::kMigrate && throttle_.enabled()) {
+    const std::uint64_t prev_pins = throttle_.pins();
     throttle_.note_fault(b, now, table_.block(b).round_trips);
+    if (trace_ != nullptr && throttle_.pins() != prev_pins) {
+      trace_->on_throttle_pin(now, b, throttle_.pinned_until(b));
+    }
     if (throttle_.is_throttled(b, now)) d = MigrationDecision::kRemoteAccess;
   }
 
@@ -220,6 +228,9 @@ void UvmDriver::process_batch() {
   batch.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
   pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
   ++stats_.fault_batches;
+  if (trace_ != nullptr) {
+    trace_->on_fault_batch(queue_.now(), queue_.now() + cfg_.far_fault_cycles(), take);
+  }
   queue_.schedule_in(cfg_.far_fault_cycles(),
                      [this, batch = std::move(batch)]() mutable { service_batch(std::move(batch)); });
 }

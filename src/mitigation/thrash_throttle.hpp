@@ -34,6 +34,11 @@ class ThrashThrottle {
 
   [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled; }
   [[nodiscard]] std::uint64_t pins() const noexcept { return pins_; }
+  /// Cycle the pin on `b` expires, or 0 when `b` was never pinned.
+  [[nodiscard]] Cycle pinned_until(BlockNum b) const noexcept {
+    const auto it = pinned_until_.find(b);
+    return it != pinned_until_.end() ? it->second : 0;
+  }
   [[nodiscard]] std::size_t tracked_blocks() const noexcept { return pinned_until_.size(); }
 
   /// Drop expired pins (bounds the "considerable implementation and space

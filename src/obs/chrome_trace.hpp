@@ -1,0 +1,79 @@
+// Chrome trace-event exporter: a TraceSink that turns the driver's
+// observation hooks into the Trace Event JSON format, so a simulation run
+// opens directly in chrome://tracing or Perfetto (ui.perfetto.dev).
+//
+// Event mapping (docs/OBSERVABILITY.md):
+//   kernel launches    -> instant events on the "kernels" track
+//   fault batches      -> duration events on the "fault engine" track
+//                         (drain -> end of the 45 us handling window)
+//   64 KB migrations   -> async begin/end pairs (id = block number) on the
+//                         "dma" category, named "migrate" or "prefetch"
+//   eviction passes    -> instant events with chunk / victim count / policy
+//   device-full        -> instant events on the eviction track
+//   counter halvings   -> instant events on the counters track
+//   throttle pins      -> duration events spanning the pin cooldown
+//   PCIe DMA occupancy -> counter events tracking in-flight H2D transfers
+//
+// Pure observation: attaching the writer never changes simulation behaviour
+// or SimStats (asserted by tests/obs/test_chrome_trace.cpp). Events are
+// buffered in memory and written sorted by timestamp, so the emitted `ts`
+// sequence is monotone — a property the CI smoke validates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "trace/trace.hpp"
+
+namespace uvmsim::obs {
+
+class ChromeTraceWriter final : public TraceSink {
+ public:
+  /// `cfg` supplies the core clock (cycle -> microsecond conversion) and the
+  /// eviction policy label attached to eviction events.
+  explicit ChromeTraceWriter(const SimConfig& cfg);
+
+  void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
+                 bool device_resident) override;
+  void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override;
+  void on_eviction(Cycle now, ChunkNum faulting_chunk,
+                   const std::vector<BlockNum>& victims) override;
+  void on_migration(Cycle now, BlockNum block, bool demand) override;
+  void on_arrival(Cycle now, BlockNum block) override;
+  void on_device_full(Cycle now) override;
+  void on_fault_batch(Cycle start, Cycle end, std::size_t blocks) override;
+  void on_counter_halving(Cycle now, std::uint64_t total_halvings) override;
+  void on_throttle_pin(Cycle now, BlockNum block, Cycle until) override;
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// Emit the buffered events as one Trace Event JSON document
+  /// (`{"traceEvents": [...], ...}`), sorted by timestamp.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Event {
+    Cycle ts = 0;
+    Cycle dur = 0;           ///< 'X' events only
+    char ph = 'i';           ///< trace-event phase: X i C b e
+    std::uint32_t tid = 0;
+    std::uint64_t id = 0;    ///< async ('b'/'e') events only
+    std::string name;
+    std::string args;        ///< pre-rendered JSON object, or empty
+  };
+
+  void push(Event e) { events_.push_back(std::move(e)); }
+  void push_dma_counter(Cycle now);
+
+  double core_clock_ghz_;
+  std::string eviction_slug_;
+  std::vector<Event> events_;
+  /// Open H2D transfers: block -> (enqueue cycle, demand?).
+  std::unordered_map<BlockNum, bool> open_dma_;
+};
+
+}  // namespace uvmsim::obs

@@ -1,0 +1,22 @@
+// Minimal JSON writing helpers shared by every JSON-emitting sink (the run
+// JSON exporter and the Chrome trace exporter). No external dependencies;
+// the point is that string escaping and non-finite-number handling live in
+// exactly one place.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+namespace uvmsim::obs {
+
+/// Write `s` as a JSON string literal (quotes included): `"` `\` and control
+/// characters below 0x20 are escaped, so any simulator-produced text (audit
+/// violation messages, workload/file names) round-trips through a parser.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Write `v` as a JSON number. NaN and infinities are not representable in
+/// JSON; they serialize as `null` instead of producing an unparseable
+/// document.
+void write_json_number(std::ostream& os, double v);
+
+}  // namespace uvmsim::obs

@@ -1,0 +1,36 @@
+#include "obs/metrics_recorder.hpp"
+
+#include <ostream>
+
+namespace uvmsim::obs {
+
+void MetricsRecorder::sample(Cycle now, const SimStats& stats, std::uint64_t used_blocks,
+                             std::uint64_t capacity_blocks) {
+  Sample s;
+  s.cycle = now;
+  s.used_blocks = used_blocks;
+  s.capacity_blocks = capacity_blocks;
+  std::size_t i = 0;
+  for (const MetricDesc& d : metrics()) s.values[i++] = value(stats, d);
+  samples_.push_back(s);
+}
+
+void MetricsRecorder::write_csv(std::ostream& os) const {
+  os << "cycle,occupancy,used_blocks,capacity_blocks";
+  for (const MetricDesc& d : metrics()) os << ',' << d.name << ',' << d.name << "_delta";
+  os << '\n';
+  const Sample* prev = nullptr;
+  for (const Sample& s : samples_) {
+    os << s.cycle << ',' << s.occupancy() << ',' << s.used_blocks << ','
+       << s.capacity_blocks;
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      const std::uint64_t delta = prev != nullptr ? s.values[i] - prev->values[i]
+                                                  : s.values[i];
+      os << ',' << s.values[i] << ',' << delta;
+    }
+    os << '\n';
+    prev = &s;
+  }
+}
+
+}  // namespace uvmsim::obs

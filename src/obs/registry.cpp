@@ -1,0 +1,42 @@
+#include "obs/registry.hpp"
+
+#include <array>
+#include <string>
+
+namespace uvmsim::obs {
+
+namespace {
+
+#define UVMSIM_METRIC(field_, kind_, category_, doc_) \
+  MetricDesc{#field_, #category_, doc_, MetricKind::k##kind_, &SimStats::field_},
+constexpr std::array<MetricDesc, kMetricCount> kMetrics = {{
+#include "obs/metrics.def"
+}};
+#undef UVMSIM_METRIC
+
+constexpr const char* kCategories[] = {"access", "fault",  "traffic", "eviction",
+                                       "policy", "timing", "audit"};
+
+}  // namespace
+
+// The one-definition-rule enforcement: SimStats is kMetricCount u64 fields
+// plus the last_violation string (8-byte members, no padding). A field added
+// to SimStats without a matching obs/metrics.def entry changes sizeof and
+// fails this assert — the schema cannot silently drift out of the registry.
+static_assert(sizeof(SimStats) ==
+                  kMetricCount * sizeof(std::uint64_t) + sizeof(std::string),
+              "SimStats and obs/metrics.def disagree: every numeric SimStats "
+              "field needs exactly one UVMSIM_METRIC entry");
+
+std::span<const MetricDesc, kMetricCount> metrics() noexcept { return kMetrics; }
+
+const MetricDesc* find_metric(std::string_view name) noexcept {
+  for (const MetricDesc& d : kMetrics) {
+    if (name == d.name) return &d;
+  }
+  return nullptr;
+}
+
+std::span<const char* const> metric_categories() noexcept { return kCategories; }
+
+}  // namespace uvmsim::obs

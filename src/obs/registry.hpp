@@ -1,0 +1,58 @@
+// Metric registry: the one-definition-rule for the run-statistics schema.
+//
+// Every numeric SimStats field is enumerated exactly once in obs/metrics.def;
+// this header turns that table into a queryable descriptor array. Everything
+// that serializes SimStats — accumulate(), report(), the run CSV, the run
+// JSON, the per-interval metrics recorder — walks this array instead of
+// hand-enumerating fields, so a metric added to the table appears in every
+// sink at once and cannot drift (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "sim/stats.hpp"
+
+namespace uvmsim::obs {
+
+/// Counter: monotone cumulative total over the run. Gauge: instantaneous
+/// value (none in SimStats today; recorders derive gauges per sample).
+enum class MetricKind : std::uint8_t { kCounter, kGauge };
+
+/// One registered metric: name/category/doc plus the member it reads.
+struct MetricDesc {
+  const char* name;                ///< serialized identifier (CSV/JSON key)
+  const char* category;            ///< report() grouping: access, fault, ...
+  const char* doc;                 ///< one-line description
+  MetricKind kind;
+  std::uint64_t SimStats::* field; ///< the field this metric reads/writes
+};
+
+// Count the UVMSIM_METRIC entries without repeating the list.
+#define UVMSIM_METRIC(field, kind, category, doc) +1
+inline constexpr std::size_t kMetricCount = 0
+#include "obs/metrics.def"
+    ;  // NOLINT(whitespace/semicolon)
+#undef UVMSIM_METRIC
+
+/// All registered metrics, in registry (= serialization) order.
+[[nodiscard]] std::span<const MetricDesc, kMetricCount> metrics() noexcept;
+
+/// Descriptor for `name`, or nullptr when no metric has that name.
+[[nodiscard]] const MetricDesc* find_metric(std::string_view name) noexcept;
+
+/// Category labels in report() display order; every MetricDesc::category is
+/// one of these (enforced by the registry self-test).
+[[nodiscard]] std::span<const char* const> metric_categories() noexcept;
+
+/// Read / write a metric on a stats block through its descriptor.
+[[nodiscard]] inline std::uint64_t value(const SimStats& s, const MetricDesc& d) noexcept {
+  return s.*(d.field);
+}
+[[nodiscard]] inline std::uint64_t& value(SimStats& s, const MetricDesc& d) noexcept {
+  return s.*(d.field);
+}
+
+}  // namespace uvmsim::obs

@@ -2,42 +2,30 @@
 
 #include <ostream>
 
+#include "obs/registry.hpp"
+
 namespace uvmsim {
+
+// Columns: the configuration axes first, then one column per registered
+// metric in registry order (obs/metrics.def). The registry preserves the
+// pre-registry column order as its prefix and only ever appends, so the
+// schema evolves append-only for positional consumers.
 
 void write_run_csv_header(std::ostream& os) {
   os << "workload,policy,eviction,prefetcher,ts,penalty,oversub,"
-     << "footprint_bytes,capacity_bytes,kernel_cycles,total_cycles,"
-     << "total_accesses,local_accesses,remote_accesses,far_faults,"
-     << "fault_batches,blocks_migrated,blocks_prefetched,bytes_h2d,bytes_d2h,"
-     << "evictions,pages_evicted,writeback_pages,pages_thrashed,"
-     << "distinct_pages_thrashed,tlb_hits,tlb_misses\n";
+     << "footprint_bytes,capacity_bytes";
+  for (const obs::MetricDesc& d : obs::metrics()) os << ',' << d.name;
+  os << '\n';
 }
-
-namespace {
-const char* policy_slug(PolicyKind k) {
-  switch (k) {
-    case PolicyKind::kFirstTouch: return "baseline";
-    case PolicyKind::kStaticAlways: return "always";
-    case PolicyKind::kStaticOversub: return "oversub";
-    case PolicyKind::kAdaptive: return "adaptive";
-  }
-  return "?";
-}
-}  // namespace
 
 void append_run_csv(std::ostream& os, const std::string& workload, const SimConfig& cfg,
                     double oversub, const RunResult& r) {
-  const SimStats& s = r.stats;
   os << workload << ',' << policy_slug(cfg.policy.policy) << ','
      << to_string(cfg.mem.eviction) << ',' << to_string(cfg.mem.prefetcher) << ','
      << cfg.policy.static_threshold << ',' << cfg.policy.migration_penalty << ','
-     << oversub << ',' << r.footprint_bytes << ',' << r.capacity_bytes << ','
-     << s.kernel_cycles << ',' << s.total_cycles << ',' << s.total_accesses << ','
-     << s.local_accesses << ',' << s.remote_accesses << ',' << s.far_faults << ','
-     << s.fault_batches << ',' << s.blocks_migrated << ',' << s.blocks_prefetched << ','
-     << s.bytes_h2d << ',' << s.bytes_d2h << ',' << s.evictions << ','
-     << s.pages_evicted << ',' << s.writeback_pages << ',' << s.pages_thrashed << ','
-     << s.distinct_pages_thrashed << ',' << s.tlb_hits << ',' << s.tlb_misses << '\n';
+     << oversub << ',' << r.footprint_bytes << ',' << r.capacity_bytes;
+  for (const obs::MetricDesc& d : obs::metrics()) os << ',' << obs::value(r.stats, d);
+  os << '\n';
 }
 
 }  // namespace uvmsim

@@ -1,70 +1,68 @@
 #include "report/run_json.hpp"
 
+#include <cstdint>
 #include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
 
 namespace uvmsim {
 
 namespace {
 
-const char* policy_slug(PolicyKind k) {
-  switch (k) {
-    case PolicyKind::kFirstTouch: return "baseline";
-    case PolicyKind::kStaticAlways: return "always";
-    case PolicyKind::kStaticOversub: return "oversub";
-    case PolicyKind::kAdaptive: return "adaptive";
-  }
-  return "?";
-}
+// Comma-prefixed field writers: the object stays valid JSON regardless of
+// which (conditional) field comes last.
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& os) : os_(os) { os_ << "{"; }
 
-void field(std::ostream& os, const char* key, const std::string& v, bool comma = true) {
-  os << "  \"" << key << "\": \"" << v << '"' << (comma ? ",\n" : "\n");
-}
-void field(std::ostream& os, const char* key, std::uint64_t v, bool comma = true) {
-  os << "  \"" << key << "\": " << v << (comma ? ",\n" : "\n");
-}
-void field(std::ostream& os, const char* key, double v, bool comma = true) {
-  os << "  \"" << key << "\": " << v << (comma ? ",\n" : "\n");
-}
+  void field(const char* key, const std::string& v) {
+    begin(key);
+    obs::write_json_string(os_, v);
+  }
+  void field(const char* key, std::uint64_t v) {
+    begin(key);
+    os_ << v;
+  }
+  void field(const char* key, double v) {
+    begin(key);
+    obs::write_json_number(os_, v);
+  }
+  void close() { os_ << "\n}\n"; }
+
+ private:
+  void begin(const char* key) {
+    os_ << (first_ ? "\n" : ",\n") << "  \"" << key << "\": ";
+    first_ = false;
+  }
+  std::ostream& os_;
+  bool first_ = true;
+};
 
 }  // namespace
 
 void write_run_json(std::ostream& os, const std::string& workload, const SimConfig& cfg,
                     double oversub, const RunResult& r) {
   const SimStats& s = r.stats;
-  os << "{\n";
-  field(os, "workload", workload);
-  field(os, "policy", policy_slug(cfg.policy.policy));
-  field(os, "eviction", to_string(cfg.mem.eviction));
-  field(os, "prefetcher", to_string(cfg.mem.prefetcher));
-  field(os, "ts", static_cast<std::uint64_t>(cfg.policy.static_threshold));
-  field(os, "penalty", cfg.policy.migration_penalty);
-  field(os, "oversub", oversub);
-  field(os, "footprint_bytes", r.footprint_bytes);
-  field(os, "capacity_bytes", r.capacity_bytes);
-  field(os, "preload_cycles", r.preload_cycles);
-  field(os, "kernel_cycles", s.kernel_cycles);
-  field(os, "kernel_ms", r.kernel_ms(cfg.gpu.core_clock_ghz));
-  field(os, "total_cycles", s.total_cycles);
-  field(os, "total_accesses", s.total_accesses);
-  field(os, "local_accesses", s.local_accesses);
-  field(os, "remote_accesses", s.remote_accesses);
-  field(os, "peer_accesses", s.peer_accesses);
-  field(os, "far_faults", s.far_faults);
-  field(os, "fault_batches", s.fault_batches);
-  field(os, "blocks_migrated", s.blocks_migrated);
-  field(os, "blocks_prefetched", s.blocks_prefetched);
-  field(os, "bytes_h2d", s.bytes_h2d);
-  field(os, "bytes_d2h", s.bytes_d2h);
-  field(os, "evictions", s.evictions);
-  field(os, "pages_evicted", s.pages_evicted);
-  field(os, "writeback_pages", s.writeback_pages);
-  field(os, "pages_thrashed", s.pages_thrashed);
-  field(os, "distinct_pages_thrashed", s.distinct_pages_thrashed);
-  field(os, "tlb_hits", s.tlb_hits);
-  field(os, "tlb_misses", s.tlb_misses);
-  field(os, "l2_hits", s.l2_hits);
-  field(os, "l2_misses", s.l2_misses, /*comma=*/false);
-  os << "}\n";
+  JsonObject obj(os);
+  obj.field("workload", workload);
+  obj.field("policy", std::string(policy_slug(cfg.policy.policy)));
+  obj.field("eviction", to_string(cfg.mem.eviction));
+  obj.field("prefetcher", to_string(cfg.mem.prefetcher));
+  obj.field("ts", static_cast<std::uint64_t>(cfg.policy.static_threshold));
+  obj.field("penalty", cfg.policy.migration_penalty);
+  obj.field("oversub", oversub);
+  obj.field("footprint_bytes", r.footprint_bytes);
+  obj.field("capacity_bytes", r.capacity_bytes);
+  obj.field("preload_cycles", r.preload_cycles);
+  obj.field("kernel_ms", r.kernel_ms(cfg.gpu.core_clock_ghz));
+  // Every registered metric, registry order — the same set the CSV carries
+  // (enforced by the round-trip test in tests/obs/).
+  for (const obs::MetricDesc& d : obs::metrics()) obj.field(d.name, obs::value(s, d));
+  // Audit context beyond the counters: only meaningful when auditing ran.
+  if ((s.audit_passes > 0 || s.audit_violations > 0) && !s.last_violation.empty())
+    obj.field("last_violation", s.last_violation);
+  obj.close();
 }
 
 }  // namespace uvmsim

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "check/check.hpp"
+
 namespace uvmsim {
 
 std::string to_string(EvictionKind k) {
@@ -32,6 +34,18 @@ std::string to_string(PolicyKind k) {
     case PolicyKind::kAdaptive: return "dynamic threshold (Adaptive)";
   }
   return "?";
+}
+
+const char* policy_slug(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kFirstTouch: return "baseline";
+    case PolicyKind::kStaticAlways: return "always";
+    case PolicyKind::kStaticOversub: return "oversub";
+    case PolicyKind::kAdaptive: return "adaptive";
+  }
+  UVM_CHECK(false, "policy_slug: out-of-domain PolicyKind "
+                       << static_cast<unsigned>(k));
+  return "";  // unreachable; UVM_CHECK throws
 }
 
 Cycle SimConfig::far_fault_cycles() const noexcept {

@@ -40,6 +40,12 @@ enum class PolicyKind : std::uint8_t {
 [[nodiscard]] std::string to_string(PrefetcherKind k);
 [[nodiscard]] std::string to_string(PolicyKind k);
 
+/// Short machine-friendly policy identifier used by every serialized report
+/// (run CSV/JSON, artifact filenames): baseline | always | oversub |
+/// adaptive. An out-of-domain enum value throws CheckFailure instead of
+/// silently serializing as "?".
+[[nodiscard]] const char* policy_slug(PolicyKind k);
+
 /// Optional L2 cache model (off by default: the workload generators emit
 /// post-cache streams; enable for fidelity ablations).
 struct L2ModelConfig {

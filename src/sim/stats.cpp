@@ -1,65 +1,36 @@
 #include "sim/stats.hpp"
 
 #include <sstream>
+#include <string_view>
+
+#include "obs/registry.hpp"
 
 namespace uvmsim {
 
 void SimStats::accumulate(const SimStats& o) noexcept {
-  total_accesses += o.total_accesses;
-  local_accesses += o.local_accesses;
-  remote_accesses += o.remote_accesses;
-  peer_accesses += o.peer_accesses;
-  tlb_hits += o.tlb_hits;
-  tlb_misses += o.tlb_misses;
-  l2_hits += o.l2_hits;
-  l2_misses += o.l2_misses;
-  far_faults += o.far_faults;
-  fault_batches += o.fault_batches;
-  replayed_accesses += o.replayed_accesses;
-  blocks_migrated += o.blocks_migrated;
-  blocks_prefetched += o.blocks_prefetched;
-  bytes_h2d += o.bytes_h2d;
-  bytes_d2h += o.bytes_d2h;
-  evictions += o.evictions;
-  pages_evicted += o.pages_evicted;
-  writeback_pages += o.writeback_pages;
-  pages_thrashed += o.pages_thrashed;
-  distinct_pages_thrashed += o.distinct_pages_thrashed;
-  counter_halvings += o.counter_halvings;
-  audit_passes += o.audit_passes;
-  audit_violations += o.audit_violations;
+  // Field walk over the metric registry: a stat added to obs/metrics.def is
+  // summed here automatically, so accumulate can never miss a field.
+  for (const obs::MetricDesc& d : obs::metrics()) obs::value(*this, d) += obs::value(o, d);
   if (last_violation.empty()) last_violation = o.last_violation;
-  decide_migrate += o.decide_migrate;
-  decide_remote += o.decide_remote;
-  write_forced_migrations += o.write_forced_migrations;
-  kernel_cycles += o.kernel_cycles;
-  total_cycles += o.total_cycles;
 }
 
 std::string SimStats::report() const {
   std::ostringstream os;
-  os << "accesses: total=" << total_accesses << " local=" << local_accesses
-     << " remote=" << remote_accesses << " peer=" << peer_accesses
-     << " tlb_hit=" << tlb_hits
-     << " tlb_miss=" << tlb_misses << " l2_hit=" << l2_hits << " l2_miss="
-     << l2_misses << '\n'
-     << "faults:   far=" << far_faults << " batches=" << fault_batches
-     << " replays=" << replayed_accesses << '\n'
-     << "traffic:  demand_blocks=" << blocks_migrated << " prefetch_blocks="
-     << blocks_prefetched << " h2d_bytes=" << bytes_h2d << " d2h_bytes="
-     << bytes_d2h << '\n'
-     << "eviction: ops=" << evictions << " pages=" << pages_evicted
-     << " writeback_pages=" << writeback_pages << " thrashed="
-     << pages_thrashed << " distinct_thrashed=" << distinct_pages_thrashed
-     << '\n'
-     << "policy:   migrate=" << decide_migrate << " remote=" << decide_remote
-     << " write_forced=" << write_forced_migrations << " halvings="
-     << counter_halvings << '\n'
-     << "timing:   kernel_cycles=" << kernel_cycles << " total_cycles="
-     << total_cycles << '\n';
-  if (audit_passes > 0 || audit_violations > 0) {
-    os << "audit:    passes=" << audit_passes << " violations=" << audit_violations;
-    if (!last_violation.empty()) os << " last=\"" << last_violation << '"';
+  for (const char* cat : obs::metric_categories()) {
+    const std::string_view category(cat);
+    // The audit line only appears when the auditor actually ran.
+    if (category == "audit" && audit_passes == 0 && audit_violations == 0) continue;
+    os << cat << ':';
+    for (std::size_t pad = category.size() + 1; pad < 10; ++pad) os << ' ';
+    bool first = true;
+    for (const obs::MetricDesc& d : obs::metrics()) {
+      if (category != d.category) continue;
+      if (!first) os << ' ';
+      first = false;
+      os << d.name << '=' << obs::value(*this, d);
+    }
+    if (category == "audit" && !last_violation.empty())
+      os << " last=\"" << last_violation << '"';
     os << '\n';
   }
   return os.str();

@@ -1,5 +1,12 @@
-// Run statistics collected by the simulator. A plain value struct (not a
-// global registry): each Simulator owns one and returns it in RunResult.
+// Run statistics collected by the simulator. A plain value struct: each
+// Simulator owns one and returns it in RunResult.
+//
+// The serialization schema for these fields is owned by the metric registry
+// (obs/metrics.def): every numeric field below has exactly one registry
+// entry, from which accumulate(), report(), the run CSV, the run JSON and
+// the metrics recorder are all derived. Adding a field here requires adding
+// its UVMSIM_METRIC entry — a sizeof static_assert in obs/registry.cpp and
+// the round-trip test (tests/obs/) enforce that, so the sinks cannot drift.
 #pragma once
 
 #include <cstdint>
@@ -55,7 +62,8 @@ struct SimStats {
   Cycle kernel_cycles = 0;                ///< sum over kernel launches
   Cycle total_cycles = 0;                 ///< end-of-simulation clock
 
-  /// Merge (sum) another stats block into this one.
+  /// Merge (sum) another stats block into this one; field walk derived from
+  /// the metric registry (obs/registry.hpp).
   void accumulate(const SimStats& other) noexcept;
 
   /// Field-wise equality — the batch-run determinism guarantee is asserted

@@ -6,11 +6,12 @@ namespace uvmsim {
 
 void Timeline::write_csv(std::ostream& os) const {
   os << "cycle,occupancy,used_blocks,far_faults,remote_accesses,pages_thrashed,"
-     << "bytes_h2d,bytes_d2h\n";
+     << "bytes_h2d,bytes_d2h,blocks_migrated,blocks_prefetched,peer_accesses\n";
   for (const TimelineSample& s : samples_) {
     os << s.cycle << ',' << s.occupancy() << ',' << s.used_blocks << ',' << s.far_faults
        << ',' << s.remote_accesses << ',' << s.pages_thrashed << ',' << s.bytes_h2d << ','
-       << s.bytes_d2h << '\n';
+       << s.bytes_d2h << ',' << s.blocks_migrated << ',' << s.blocks_prefetched << ','
+       << s.peer_accesses << '\n';
   }
 }
 

@@ -1,7 +1,12 @@
 // Timeline: periodic snapshots of driver state over the simulation —
-// device occupancy, cumulative faults/migrations/remote traffic — for
-// plotting the temporal behaviour of a policy (how fast memory fills, when
-// thrash sets in, how the remote share evolves).
+// device occupancy and the cumulative fault / migration / prefetch / remote
+// / thrash / PCIe-byte counters — for plotting the temporal behaviour of a
+// policy (how fast memory fills, when thrash sets in, how the remote share
+// evolves). Stat column names match the metric registry (obs/metrics.def).
+//
+// Timeline is the small fixed-column sampler the figure harnesses plot from;
+// obs/metrics_recorder.hpp is its registry-complete generalization (every
+// registered metric, delta + cumulative, shared-clock alignment).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,10 @@ struct TimelineSample {
   std::uint64_t pages_thrashed = 0;
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;
+  // Appended columns (the header long promised cumulative migrations):
+  std::uint64_t blocks_migrated = 0;
+  std::uint64_t blocks_prefetched = 0;
+  std::uint64_t peer_accesses = 0;
 
   [[nodiscard]] double occupancy() const noexcept {
     return capacity_blocks == 0
@@ -36,7 +45,9 @@ class Timeline {
     return samples_;
   }
 
-  /// CSV: cycle,occupancy,used_blocks,far_faults,remote,thrashed,h2d,d2h.
+  /// CSV: cycle,occupancy,used_blocks,far_faults,remote_accesses,
+  /// pages_thrashed,bytes_h2d,bytes_d2h,blocks_migrated,blocks_prefetched,
+  /// peer_accesses.
   void write_csv(std::ostream& os) const;
 
  private:

@@ -48,6 +48,15 @@ class TraceSink {
   /// The device ran out of free space (DeviceMemory::note_full — the sticky
   /// event that gates the "Oversub" static scheme).
   virtual void on_device_full(Cycle /*now*/) {}
+  /// The fault engine drained a batch of `blocks` faults at `start`; the
+  /// 45 us handling completes (and servicing begins) at `end`.
+  virtual void on_fault_batch(Cycle /*start*/, Cycle /*end*/, std::size_t /*blocks*/) {}
+  /// An access saturated its counter and the whole table was halved;
+  /// `total_halvings` is the run-cumulative count after this halving.
+  virtual void on_counter_halving(Cycle /*now*/, std::uint64_t /*total_halvings*/) {}
+  /// The thrash throttle (mitigation ablations) pinned `block` to host
+  /// memory until cycle `until`.
+  virtual void on_throttle_pin(Cycle /*now*/, BlockNum /*block*/, Cycle /*until*/) {}
 };
 
 /// Fig 2: per-4KB-page access counts, split into read-only pages and pages
@@ -148,6 +157,15 @@ class MultiSink final : public TraceSink {
   }
   void on_device_full(Cycle now) override {
     for (auto* s : sinks_) s->on_device_full(now);
+  }
+  void on_fault_batch(Cycle start, Cycle end, std::size_t blocks) override {
+    for (auto* s : sinks_) s->on_fault_batch(start, end, blocks);
+  }
+  void on_counter_halving(Cycle now, std::uint64_t total_halvings) override {
+    for (auto* s : sinks_) s->on_counter_halving(now, total_halvings);
+  }
+  void on_throttle_pin(Cycle now, BlockNum block, Cycle until) override {
+    for (auto* s : sinks_) s->on_throttle_pin(now, block, until);
   }
 
  private:

@@ -1,10 +1,16 @@
 // Golden-output regression for the full evaluation sweep: the grid built by
 // tools/sweep_grid.hpp, run through the batch engine at scale 0.05, must
-// produce a CSV byte-identical to the checked-in pre-overhaul capture
+// produce a CSV byte-identical to the checked-in capture
 // (tests/data/sweep_golden_scale005.csv) — and identical across --jobs
 // values. This pins the hot-path overhaul (incremental eviction index, 4-ary
 // event kernel) to the exact victim/fault/cycle numbers of the original
 // scan-based implementation.
+//
+// Schema note: the capture was regenerated when the metric registry
+// (src/obs/metrics.def) unified reporting. The CSV gained appended columns
+// (peer_accesses .. audit_violations, registry schema v2); the original 27
+// leading columns were verified byte-identical to the pre-registry capture
+// before re-recording, so the simulated numbers themselves are unchanged.
 #include <gtest/gtest.h>
 
 #include <fstream>

@@ -1,0 +1,116 @@
+// Chrome trace exporter smoke + purity tests, mirroring the CI stage: an
+// oversubscribed adaptive bfs run must produce a document a JSON parser
+// accepts, with monotone timestamps and the event families the paper's
+// mechanisms generate (fault batches, migrations, evictions, counter
+// halvings) — and attaching the writer must not perturb the simulation.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "obs/registry.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+#include "json_lite.hpp"
+
+namespace uvmsim {
+namespace {
+
+SimConfig trace_config() {
+  SimConfig cfg;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+  // The static-after-oversubscription policy under 133% pressure exercises
+  // every event family at once: it migrates enough to fill the device and
+  // evict, while the narrow 8-bit counters saturate and halve.
+  cfg.policy.policy = PolicyKind::kStaticOversub;
+  cfg.mem.oversubscription = 4.0 / 3.0;  // the paper's 133% pressure point
+  cfg.mem.counter_count_bits = 8;
+  cfg.collect_traces = true;
+  return cfg;
+}
+
+RunResult traced_run(const SimConfig& cfg, TraceSink* sink) {
+  WorkloadParams params;
+  // At scale 0.05 the bfs footprint sits below the 2 MB capacity floor and
+  // the device never fills; 0.1 is the smallest scale that evicts.
+  params.scale = 0.1;
+  auto wl = make_workload("bfs", params);
+  Simulator sim(cfg);
+  RunOptions opts;
+  opts.trace_sink = sink;
+  return sim.run(*wl, opts);
+}
+
+TEST(ChromeTrace, OversubscribedRunEmitsValidMonotoneTrace) {
+  const SimConfig cfg = trace_config();
+  obs::ChromeTraceWriter writer(cfg);
+  (void)traced_run(cfg, &writer);
+  ASSERT_GT(writer.event_count(), 0u);
+
+  std::ostringstream os;
+  writer.write(os);
+  test_json::ValuePtr doc;
+  ASSERT_NO_THROW(doc = test_json::parse(os.str()));
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_TRUE(doc->has("traceEvents"));
+  const auto& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.array.size(), 6u);  // more than the track-name metadata
+
+  double prev_ts = 0.0;
+  std::set<std::string> names;
+  for (const auto& ev : events.array) {
+    ASSERT_TRUE(ev->is_object());
+    const std::string ph = ev->at("ph").string;
+    if (ph == "M") continue;  // metadata carries no timestamp semantics
+    const double ts = ev->at("ts").number;
+    EXPECT_GE(ts, prev_ts) << "timestamps must be emitted in monotone order";
+    prev_ts = ts;
+    names.insert(ev->at("name").string);
+    if (ph == "X") {
+      EXPECT_GE(ev->at("dur").number, 0.0);
+    }
+    if (ph == "b" || ph == "e") {
+      EXPECT_TRUE(ev->has("id"));
+    }
+  }
+
+  // The mechanisms this configuration exercises must all leave events.
+  EXPECT_TRUE(names.count("fault_batch"));
+  EXPECT_TRUE(names.count("migrate"));
+  EXPECT_TRUE(names.count("evict"));
+  EXPECT_TRUE(names.count("counter_halving"));
+  EXPECT_TRUE(names.count("pcie_dma_occupancy"));
+}
+
+TEST(ChromeTrace, AttachingTheWriterDoesNotPerturbTheRun) {
+  const SimConfig cfg = trace_config();
+  obs::ChromeTraceWriter writer(cfg);
+  const RunResult with_sink = traced_run(cfg, &writer);
+  const RunResult without_sink = traced_run(cfg, nullptr);
+
+  ASSERT_GT(writer.event_count(), 0u);
+  for (const obs::MetricDesc& d : obs::metrics())
+    EXPECT_EQ(obs::value(with_sink.stats, d), obs::value(without_sink.stats, d)) << d.name;
+  EXPECT_EQ(with_sink.stats.last_violation, without_sink.stats.last_violation);
+  EXPECT_EQ(with_sink.kernels.size(), without_sink.kernels.size());
+}
+
+TEST(ChromeTrace, EmptyWriterStillProducesAParseableDocument) {
+  const SimConfig cfg = trace_config();
+  obs::ChromeTraceWriter writer(cfg);
+  std::ostringstream os;
+  writer.write(os);
+  test_json::ValuePtr doc;
+  ASSERT_NO_THROW(doc = test_json::parse(os.str()));
+  EXPECT_TRUE(doc->at("traceEvents").is_array());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,122 @@
+// Registry self-tests: the one-definition-rule contract. Every SimStats
+// metric appears in obs/metrics.def exactly once (uniqueness + the sizeof
+// static_assert in registry.cpp), every consumer that claims to be
+// registry-driven really covers the whole registry, and accumulate()/report()
+// pick up a metric the moment it is registered.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(MetricRegistry, CountMatchesSpanAndIsNonTrivial) {
+  EXPECT_EQ(obs::metrics().size(), obs::kMetricCount);
+  // 18 schema-v1 columns plus the appended v2 metrics.
+  EXPECT_GE(obs::kMetricCount, 28u);
+}
+
+TEST(MetricRegistry, NamesAreUniqueAndWellFormed) {
+  std::set<std::string> names;
+  for (const obs::MetricDesc& d : obs::metrics()) {
+    ASSERT_NE(d.name, nullptr);
+    ASSERT_NE(d.category, nullptr);
+    ASSERT_NE(d.doc, nullptr);
+    EXPECT_FALSE(std::string(d.name).empty());
+    EXPECT_FALSE(std::string(d.doc).empty());
+    EXPECT_TRUE(names.insert(d.name).second) << "duplicate metric name: " << d.name;
+  }
+  EXPECT_EQ(names.size(), obs::kMetricCount);
+}
+
+TEST(MetricRegistry, EveryCategoryIsRegistered) {
+  std::set<std::string> cats;
+  for (const char* c : obs::metric_categories()) cats.insert(c);
+  for (const obs::MetricDesc& d : obs::metrics())
+    EXPECT_TRUE(cats.count(d.category)) << d.name << " has unknown category " << d.category;
+}
+
+TEST(MetricRegistry, FindMetricRoundTrips) {
+  for (const obs::MetricDesc& d : obs::metrics()) {
+    const obs::MetricDesc* found = obs::find_metric(d.name);
+    ASSERT_NE(found, nullptr) << d.name;
+    EXPECT_EQ(found, &d);
+  }
+  EXPECT_EQ(obs::find_metric("no_such_metric"), nullptr);
+  EXPECT_EQ(obs::find_metric(""), nullptr);
+}
+
+TEST(MetricRegistry, DescriptorsReadAndWriteTheField) {
+  SimStats s;
+  const obs::MetricDesc* d = obs::find_metric("far_faults");
+  ASSERT_NE(d, nullptr);
+  obs::value(s, *d) = 42;
+  EXPECT_EQ(s.far_faults, 42u);
+  EXPECT_EQ(obs::value(static_cast<const SimStats&>(s), *d), 42u);
+}
+
+TEST(MetricRegistry, AccumulateSumsEveryRegisteredMetric) {
+  SimStats a;
+  SimStats b;
+  std::uint64_t i = 0;
+  for (const obs::MetricDesc& d : obs::metrics()) {
+    obs::value(a, d) = i + 1;
+    obs::value(b, d) = 10 * (i + 1);
+    ++i;
+  }
+  b.last_violation = "chunk 3 resident bit stale";
+  a.accumulate(b);
+  i = 0;
+  for (const obs::MetricDesc& d : obs::metrics()) {
+    EXPECT_EQ(obs::value(a, d), 11 * (i + 1)) << d.name;
+    ++i;
+  }
+  EXPECT_EQ(a.last_violation, "chunk 3 resident bit stale");
+}
+
+TEST(MetricRegistry, AccumulateKeepsFirstViolation) {
+  SimStats a;
+  SimStats b;
+  a.last_violation = "first";
+  b.last_violation = "second";
+  a.accumulate(b);
+  EXPECT_EQ(a.last_violation, "first");
+}
+
+TEST(MetricRegistry, ReportMentionsEveryMetricOnce) {
+  SimStats s;
+  // Non-zero audit numbers so the audit category is not suppressed.
+  std::uint64_t i = 0;
+  for (const obs::MetricDesc& d : obs::metrics()) obs::value(s, d) = ++i;
+  const std::string report = s.report();
+  // Count whole-token occurrences: a preceding space distinguishes
+  // `pages_thrashed=` from its appearance inside `distinct_pages_thrashed=`.
+  const auto count_token = [&report](const std::string& name) {
+    const std::string token = name + "=";
+    std::size_t n = 0;
+    for (std::size_t pos = report.find(token); pos != std::string::npos;
+         pos = report.find(token, pos + 1)) {
+      if (pos == 0 || report[pos - 1] == ' ') ++n;
+    }
+    return n;
+  };
+  for (const obs::MetricDesc& d : obs::metrics())
+    EXPECT_EQ(count_token(d.name), 1u) << "report() must list " << d.name << " exactly once";
+}
+
+TEST(MetricRegistry, ReportSuppressesIdleAuditLine) {
+  SimStats s;
+  s.far_faults = 3;
+  const std::string report = s.report();
+  EXPECT_EQ(report.find("audit:"), std::string::npos);
+  s.audit_passes = 1;
+  EXPECT_NE(s.report().find("audit:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,172 @@
+// Round-trip coverage of the run exporters against the metric registry: the
+// CSV header and the JSON keys must each cover every registered metric, the
+// JSON must parse with a real (if small) parser, and the shared escaping /
+// number helpers must survive hostile input. Together with the sizeof
+// static_assert in obs/registry.cpp this enforces the one-definition rule:
+// a SimStats field cannot exist without appearing in every sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "report/run_csv.hpp"
+#include "report/run_json.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+#include "json_lite.hpp"
+
+namespace uvmsim {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+RunResult small_run(SimConfig& cfg) {
+  WorkloadParams params;
+  params.scale = 0.05;
+  cfg.gpu.num_sms = 4;
+  cfg.gpu.warps_per_sm = 2;
+  cfg.policy.policy = PolicyKind::kAdaptive;
+  auto wl = make_workload("fdtd", params);
+  Simulator sim(cfg);
+  return sim.run(*wl, RunOptions{});
+}
+
+TEST(RunRoundTrip, CsvHeaderCoversTheFullRegistry) {
+  std::ostringstream os;
+  write_run_csv_header(os);
+  std::string header = os.str();
+  ASSERT_FALSE(header.empty());
+  ASSERT_EQ(header.back(), '\n');
+  header.pop_back();
+  const std::vector<std::string> cols = split_csv(header);
+
+  // Leading configuration axes, then exactly the registry in registry order.
+  const std::vector<std::string> axes = {"workload",        "policy",  "eviction",
+                                         "prefetcher",      "ts",      "penalty",
+                                         "oversub",         "footprint_bytes",
+                                         "capacity_bytes"};
+  ASSERT_EQ(cols.size(), axes.size() + obs::kMetricCount);
+  for (std::size_t i = 0; i < axes.size(); ++i) EXPECT_EQ(cols[i], axes[i]) << i;
+  std::size_t i = axes.size();
+  for (const obs::MetricDesc& d : obs::metrics()) EXPECT_EQ(cols[i++], d.name);
+}
+
+TEST(RunRoundTrip, CsvRowMatchesHeaderAndStats) {
+  SimConfig cfg;
+  const RunResult r = small_run(cfg);
+
+  std::ostringstream os;
+  write_run_csv_header(os);
+  append_run_csv(os, "fdtd", cfg, 0.0, r);
+  std::istringstream in(os.str());
+  std::string header_line, row_line;
+  ASSERT_TRUE(std::getline(in, header_line));
+  ASSERT_TRUE(std::getline(in, row_line));
+  const std::vector<std::string> header = split_csv(header_line);
+  const std::vector<std::string> row = split_csv(row_line);
+  ASSERT_EQ(row.size(), header.size());
+
+  // Every metric cell is the decimal value of the corresponding stats field.
+  const std::size_t first_metric = header.size() - obs::kMetricCount;
+  std::size_t i = first_metric;
+  for (const obs::MetricDesc& d : obs::metrics())
+    EXPECT_EQ(row[i++], std::to_string(obs::value(r.stats, d))) << d.name;
+  EXPECT_EQ(row[0], "fdtd");
+}
+
+TEST(RunRoundTrip, JsonParsesAndCoversTheFullRegistry) {
+  SimConfig cfg;
+  const RunResult r = small_run(cfg);
+
+  std::ostringstream os;
+  write_run_json(os, "fdtd", cfg, 0.0, r);
+  test_json::ValuePtr doc;
+  ASSERT_NO_THROW(doc = test_json::parse(os.str())) << os.str();
+  ASSERT_TRUE(doc->is_object());
+
+  EXPECT_EQ(doc->at("workload").string, "fdtd");
+  EXPECT_TRUE(doc->has("policy"));
+  EXPECT_TRUE(doc->has("eviction"));
+  EXPECT_TRUE(doc->has("prefetcher"));
+  EXPECT_TRUE(doc->has("footprint_bytes"));
+  EXPECT_TRUE(doc->has("kernel_ms"));
+  for (const obs::MetricDesc& d : obs::metrics()) {
+    ASSERT_TRUE(doc->has(d.name)) << "run JSON is missing " << d.name;
+    EXPECT_EQ(doc->at(d.name).number, static_cast<double>(obs::value(r.stats, d)))
+        << d.name;
+  }
+  // No audit ran: the violation text key must be absent, the counters zero.
+  EXPECT_FALSE(doc->has("last_violation"));
+  EXPECT_EQ(doc->at("audit_passes").number, 0.0);
+}
+
+TEST(RunRoundTrip, JsonEscapesHostileViolationText) {
+  SimConfig cfg;
+  RunResult r = small_run(cfg);
+  r.stats.audit_passes = 1;
+  r.stats.last_violation = "quote \" backslash \\ newline \n tab \t bell \x07 end";
+
+  std::ostringstream os;
+  write_run_json(os, "fdtd", cfg, 0.0, r);
+  test_json::ValuePtr doc;
+  ASSERT_NO_THROW(doc = test_json::parse(os.str())) << os.str();
+  ASSERT_TRUE(doc->has("last_violation"));
+  EXPECT_EQ(doc->at("last_violation").string, r.stats.last_violation);
+}
+
+TEST(JsonHelpers, StringEscapingRoundTrips) {
+  std::string hostile;
+  for (int c = 0; c < 0x20; ++c) hostile.push_back(static_cast<char>(c));
+  hostile += "\"\\plain";
+  std::ostringstream os;
+  obs::write_json_string(os, hostile);
+  const auto parsed = test_json::parse(os.str());
+  ASSERT_TRUE(parsed->is_string());
+  EXPECT_EQ(parsed->string, hostile);
+}
+
+TEST(JsonHelpers, NonFiniteNumbersSerializeAsNull) {
+  std::ostringstream os;
+  obs::write_json_number(os, std::nan(""));
+  os << ' ';
+  obs::write_json_number(os, HUGE_VAL);
+  os << ' ';
+  obs::write_json_number(os, -HUGE_VAL);
+  EXPECT_EQ(os.str(), "null null null");
+  std::ostringstream fine;
+  obs::write_json_number(fine, 1.5);
+  EXPECT_EQ(test_json::parse(fine.str())->number, 1.5);
+}
+
+TEST(PolicySlug, CoversEveryPolicyAndFeedsBothExporters) {
+  const std::set<std::string> slugs = {
+      policy_slug(PolicyKind::kFirstTouch), policy_slug(PolicyKind::kStaticAlways),
+      policy_slug(PolicyKind::kStaticOversub), policy_slug(PolicyKind::kAdaptive)};
+  EXPECT_EQ(slugs.size(), 4u) << "policy slugs must be distinct";
+
+  SimConfig cfg;
+  const RunResult r = small_run(cfg);
+  std::ostringstream csv;
+  append_run_csv(csv, "fdtd", cfg, 0.0, r);
+  std::ostringstream json;
+  write_run_json(json, "fdtd", cfg, 0.0, r);
+  const std::string slug = policy_slug(cfg.policy.policy);
+  EXPECT_NE(csv.str().find("," + slug + ","), std::string::npos);
+  EXPECT_EQ(test_json::parse(json.str())->at("policy").string, slug);
+}
+
+}  // namespace
+}  // namespace uvmsim

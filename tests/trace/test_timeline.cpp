@@ -21,12 +21,15 @@ TEST(Timeline, OccupancyComputation) {
 
 TEST(Timeline, CsvFormat) {
   Timeline t;
-  t.add(TimelineSample{100, 8, 32, 5, 2, 16, 1024, 512});
+  t.add(TimelineSample{100, 8, 32, 5, 2, 16, 1024, 512, 7, 3, 9});
   std::ostringstream os;
   t.write_csv(os);
   const std::string s = os.str();
   EXPECT_NE(s.find("cycle,occupancy"), std::string::npos);
-  EXPECT_NE(s.find("100,0.25,8,5,2,16,1024,512"), std::string::npos);
+  // Header covers the migration/prefetch/peer columns added with the
+  // observability layer.
+  EXPECT_NE(s.find("blocks_migrated,blocks_prefetched,peer_accesses"), std::string::npos);
+  EXPECT_NE(s.find("100,0.25,8,5,2,16,1024,512,7,3,9"), std::string::npos);
 }
 
 TEST(Timeline, SimulatorSamplesPeriodically) {

@@ -43,6 +43,11 @@ void usage() {
       "  --record FILE      capture the access trace to FILE\n"
       "  --replay FILE      replay a captured trace instead of a workload\n"
       "  --timeline FILE    write periodic occupancy/traffic samples to FILE\n"
+      "  --metrics FILE     write the per-interval time series of every\n"
+      "                     registered metric (delta + cumulative) to FILE\n"
+      "  --metrics-interval N  metrics sampling interval in cycles (default 100000)\n"
+      "  --chrome-trace FILE  write a Chrome trace-event JSON of the run\n"
+      "                     (open in chrome://tracing or ui.perfetto.dev)\n"
       "  --mitigation       enable nvidia-uvm-style thrash throttling\n"
       "  --audit            enable the invariant auditor (docs/INVARIANTS.md);\n"
       "                     tune with --set audit.interval_events=N\n"
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
   bool eviction_set = false;
   bool show_config = false;
   std::string record_path, replay_path, timeline_path;
+  std::string metrics_path, chrome_trace_path;
+  Cycle metrics_interval = 100000;
   bool json_output = false;
   bool classify = false;
 
@@ -180,6 +187,16 @@ int main(int argc, char** argv) {
       replay_path = next();
     } else if (arg == "--timeline") {
       timeline_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = next_u64();
+      if (metrics_interval == 0) {
+        std::fprintf(stderr, "invalid value for --metrics-interval: must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--chrome-trace") {
+      chrome_trace_path = next();
     } else if (arg == "--mitigation") {
       cfg.mitigation.enabled = true;
     } else if (arg == "--audit") {
@@ -249,6 +266,7 @@ int main(int argc, char** argv) {
     cfg.mem.oversubscription = oversub;
     TraceRecorder recorder;
     Timeline timeline;
+    obs::MetricsRecorder metrics;
     if (!record_path.empty()) {
       // The recorder needs the allocation layout; build a sizing copy.
       AddressSpace sizing;
@@ -256,11 +274,31 @@ int main(int argc, char** argv) {
       recorder.capture_layout(sizing);
       cfg.collect_traces = true;
     }
+    if (!chrome_trace_path.empty()) cfg.collect_traces = true;
+    obs::ChromeTraceWriter chrome(cfg);
+
+    // Compose the requested observation sinks onto one trace stream.
+    MultiSink multi;
+    TraceSink* sink = nullptr;
+    if (!record_path.empty()) sink = &recorder;
+    if (!chrome_trace_path.empty()) {
+      if (sink != nullptr) {
+        multi.add(sink);
+        multi.add(&chrome);
+        sink = &multi;
+      } else {
+        sink = &chrome;
+      }
+    }
 
     Simulator sim(cfg);
     RunOptions opts;
-    if (!record_path.empty()) opts.trace_sink = &recorder;
+    opts.trace_sink = sink;
     if (!timeline_path.empty()) opts.timeline = &timeline;
+    if (!metrics_path.empty()) {
+      opts.metrics = &metrics;
+      opts.metrics_interval = metrics_interval;
+    }
     const RunResult r = sim.run(*wl, opts);
 
     if (!record_path.empty()) {
@@ -275,6 +313,18 @@ int main(int argc, char** argv) {
       timeline.write_csv(out);
       std::printf("timeline:   %zu samples -> %s\n", timeline.samples().size(),
                   timeline_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      metrics.write_csv(out);
+      std::printf("metrics:    %zu samples -> %s\n", metrics.samples().size(),
+                  metrics_path.c_str());
+    }
+    if (!chrome_trace_path.empty()) {
+      std::ofstream out(chrome_trace_path);
+      chrome.write(out);
+      std::printf("chrome:     %zu events -> %s (chrome://tracing, ui.perfetto.dev)\n",
+                  chrome.event_count(), chrome_trace_path.c_str());
     }
     if (json_output) {
       std::ostringstream os;

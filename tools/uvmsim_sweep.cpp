@@ -2,6 +2,7 @@
 // downstream plotting (each figure of the paper is a slice of this data).
 //
 //   uvmsim-sweep --out results.csv [--scale 1.0] [--jobs N] [--quick]
+//                [--metrics-dir DIR]
 //
 // Grid: 8 workloads x {Baseline, Always, Oversub, Adaptive}
 //       x oversubscription {fits, 1.25, 1.50}
@@ -12,8 +13,10 @@
 // seeded by its request, so the CSV is byte-identical for any --jobs value.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include <uvmsim/uvmsim.hpp>
@@ -28,10 +31,14 @@ using namespace uvmsim;
 
 constexpr const char* kUsage =
     "usage: uvmsim-sweep [--out FILE] [--scale F] [--jobs N] [--quick]\n"
+    "                    [--metrics-dir DIR]\n"
     "  --out FILE   output CSV path (default uvmsim_sweep.csv)\n"
     "  --scale F    workload footprint scale, F > 0 (default 1.0)\n"
     "  --jobs N     worker threads, N >= 1 (default: hardware concurrency)\n"
-    "  --quick      cap scale at 0.2 for a fast smoke sweep\n";
+    "  --quick      cap scale at 0.2 for a fast smoke sweep\n"
+    "  --metrics-dir DIR  also write one per-run metric time-series CSV per\n"
+    "               grid entry into DIR; all series sample on the shared\n"
+    "               clock (multiples of 100000 cycles) so rows align\n";
 
 int usage_error(const char* flag, const char* value) {
   if (value != nullptr)
@@ -46,6 +53,7 @@ int usage_error(const char* flag, const char* value) {
 
 int main(int argc, char** argv) {
   std::string out_path = "uvmsim_sweep.csv";
+  std::string metrics_dir;
   double scale = 1.0;
   unsigned jobs = 0;  // 0 = hardware concurrency
   bool quick = false;
@@ -66,6 +74,9 @@ int main(int argc, char** argv) {
           jobs > 1u << 20)
         return usage_error("--jobs", value);
       ++i;
+    } else if (arg == "--metrics-dir") {
+      if (value == nullptr) return usage_error("--metrics-dir", nullptr);
+      metrics_dir = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
     } else {
@@ -92,6 +103,27 @@ int main(int argc, char** argv) {
     std::printf("\r%zu runs...", done);
     std::fflush(stdout);
   };
+
+  // One pre-allocated recorder per grid entry: each run samples its own
+  // recorder on the worker thread (no sharing), and all series sit on the
+  // shared clock (RunOptions::metrics_interval multiples) so rows align.
+  std::vector<obs::MetricsRecorder> recorders;
+  if (!metrics_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(metrics_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", metrics_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    recorders.resize(grid.size());
+    opts.make_options = [&recorders](const RunRequest&, std::size_t index) {
+      RunOptions ro;
+      ro.metrics = &recorders[index];
+      return ro;
+    };
+  }
+
   const BatchResult batch = run_batch(grid, opts);
 
   write_run_csv_header(out);
@@ -108,6 +140,26 @@ int main(int argc, char** argv) {
 
   std::printf("\nwrote %zu runs to %s (%u jobs, %.1f s wall)\n", written, out_path.c_str(),
               batch.jobs, batch.wall_ms / 1000.0);
+
+  if (!metrics_dir.empty()) {
+    std::size_t series = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!batch.entries[i].ok()) continue;
+      const RunRequest& req = grid[i];
+      char name[256];
+      std::snprintf(name, sizeof(name), "%03zu_%s_%s_%.4g.csv", i,
+                    req.workload.c_str(), policy_slug(req.config.policy.policy),
+                    req.oversub);
+      std::ofstream mout(std::filesystem::path(metrics_dir) / name);
+      if (!mout) {
+        std::fprintf(stderr, "cannot open %s/%s\n", metrics_dir.c_str(), name);
+        return 1;
+      }
+      recorders[i].write_csv(mout);
+      ++series;
+    }
+    std::printf("wrote %zu metric series to %s/\n", series, metrics_dir.c_str());
+  }
   if (!batch.all_ok()) {
     std::fprintf(stderr, "%zu of %zu runs failed\n", batch.failed, batch.entries.size());
     return 1;
