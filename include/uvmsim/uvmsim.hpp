@@ -30,7 +30,9 @@
 #include "obs/json.hpp"
 #include "obs/metrics_recorder.hpp"
 #include "obs/registry.hpp"
+#include "policy/adaptive_policies.hpp"
 #include "policy/migration_policy.hpp"
+#include "policy/policy_registry.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "report/run_csv.hpp"
 #include "report/run_json.hpp"

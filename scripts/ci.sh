@@ -98,6 +98,53 @@ build/tools/uvmsim-fuzz --seed nope > /dev/null 2>&1 || rc=$?
 if [[ $rc -ne 2 ]]; then
   echo "uvmsim-fuzz accepted a garbage --seed (rc=$rc, want 2)"; exit 1
 fi
+rc=0
+build/tools/uvmsim-fuzz --policy no-such-policy > /dev/null 2>&1 || rc=$?
+if [[ $rc -ne 2 ]]; then
+  echo "uvmsim-fuzz accepted an unknown --policy (rc=$rc, want 2)"; exit 1
+fi
+
+# Adaptive-policy fuzz smoke: force every case onto an online-adaptive
+# policy; the oracle runs in skip-decision mode (decisions adopted from the
+# driver, memory-state invariants still verified) and must stay clean.
+echo "==> fuzz smoke (adaptive policy, oracle skip-decision mode)"
+build/tools/uvmsim-fuzz --seed 1 --iters 200 --policy learned --quiet
+
+# Tournament smoke: a small grid over every registered policy must produce a
+# schema-valid JSON leaderboard, and the CSV artifact must be byte-identical
+# for --jobs 1 and --jobs 2 (determinism contract, docs/POLICIES.md).
+echo "==> tournament smoke (all registered policies)"
+build/tools/uvmsim-tournament --seed 1 --scenarios 4 --jobs 1 \
+    --out-csv /tmp/uvmsim_tournament_j1.csv --out-json /tmp/uvmsim_tournament.json --quiet
+build/tools/uvmsim-tournament --seed 1 --scenarios 4 --jobs 2 \
+    --out-csv /tmp/uvmsim_tournament_j2.csv --quiet > /dev/null
+cmp /tmp/uvmsim_tournament_j1.csv /tmp/uvmsim_tournament_j2.csv || {
+  echo "tournament CSV differs between --jobs 1 and --jobs 2"; exit 1; }
+python3 - /tmp/uvmsim_tournament.json /tmp/uvmsim_tournament_j1.csv <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("seed", "scenarios", "cells", "leaderboard"):
+    assert key in doc, f"tournament JSON missing {key}"
+assert any(s["thrash"] for s in doc["scenarios"]), "no oversubscribed thrash scenario"
+policies = {row["policy"] for row in doc["leaderboard"]}
+assert len(policies) >= 6, f"expected >=6 policies on the leaderboard, got {policies}"
+assert len(doc["cells"]) == len(doc["scenarios"]) * len(doc["leaderboard"])
+for cell in doc["cells"]:
+    assert cell["ok"], f"tournament cell failed: {cell}"
+ranks = [row["rank"] for row in doc["leaderboard"]]
+assert ranks == list(range(1, len(ranks) + 1)), ranks
+costs = [row["fault_cost"] for row in doc["leaderboard"]]
+assert costs == sorted(costs), "leaderboard not ranked by fault_cost"
+header = open(sys.argv[2]).readline().strip()
+assert header.startswith("rank,policy,wins,failed,fault_cost"), header
+print(f"tournament smoke: {len(doc['leaderboard'])} policies x "
+      f"{len(doc['scenarios'])} scenarios ok")
+PY
+rc=0
+build/tools/uvmsim-tournament --policies no-such-policy > /dev/null 2>&1 || rc=$?
+if [[ $rc -ne 2 ]]; then
+  echo "uvmsim-tournament accepted an unknown --policies entry (rc=$rc, want 2)"; exit 1
+fi
 
 if [[ $quick -eq 0 ]]; then
   echo "==> coverage gate (src/policy + src/check vs scripts/coverage_baseline.txt)"

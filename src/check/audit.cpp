@@ -363,8 +363,7 @@ void InvariantAuditor::check_counters(const AuditScope& s, AuditReport& r) {
 void InvariantAuditor::check_threshold(const AuditScope& s, AuditReport& r) const {
   const PolicyConfig& pc = *s.policy_cfg;
   if (s.policy != nullptr) {
-    const std::uint64_t td =
-        s.policy->effective_threshold(CounterSnapshot{0, 0}, s.policy_ctx);
+    const std::uint64_t td = s.policy->effective_threshold(s.policy_features);
     expect(r, td >= 1, [&] {
       std::ostringstream os;
       os << "threshold: policy '" << s.policy->name() << "' effective threshold "
@@ -372,24 +371,26 @@ void InvariantAuditor::check_threshold(const AuditScope& s, AuditReport& r) cons
       return text(os);
     });
   }
-  if (pc.policy != PolicyKind::kAdaptive) return;
+  // The Eq.1 bound checks only apply to the paper's Adaptive scheme; registry
+  // policies own their threshold shapes (the td >= 1 check above still holds).
+  if (pc.resolved_slug() != "adaptive") return;
 
   const std::uint64_t ts = pc.static_threshold;
   const std::uint64_t p = pc.migration_penalty;
   for (const std::uint32_t trips : {0u, 1u, 2u, 7u, 30u}) {
     const std::uint64_t fits =
-        adaptive_threshold(pc.static_threshold, s.policy_ctx.resident_pages,
-                           s.policy_ctx.capacity_pages, false, trips, p);
+        adaptive_threshold(pc.static_threshold, s.policy_features.resident_pages,
+                           s.policy_features.capacity_pages, false, trips, p);
     expect(r, fits >= 1 && fits <= ts + 1, [&] {
       std::ostringstream os;
       os << "threshold: Eq.1 fits branch td=" << fits << " outside [1, ts+1] "
-         << "(ts=" << ts << ", resident=" << s.policy_ctx.resident_pages
-         << "/" << s.policy_ctx.capacity_pages << ')';
+         << "(ts=" << ts << ", resident=" << s.policy_features.resident_pages
+         << "/" << s.policy_features.capacity_pages << ')';
       return text(os);
     });
     const std::uint64_t over =
-        adaptive_threshold(pc.static_threshold, s.policy_ctx.resident_pages,
-                           s.policy_ctx.capacity_pages, true, trips, p);
+        adaptive_threshold(pc.static_threshold, s.policy_features.resident_pages,
+                           s.policy_features.capacity_pages, true, trips, p);
     expect(r, over == ts * (trips + 1) * p, [&] {
       std::ostringstream os;
       os << "threshold: Eq.1 oversubscription branch td=" << over

@@ -55,7 +55,7 @@ struct AuditScope {
   const SimStats* stats = nullptr;
   const MigrationPolicy* policy = nullptr;
   const PolicyConfig* policy_cfg = nullptr;
-  PolicyContext policy_ctx;
+  PolicyFeatures policy_features;  ///< occupancy/activity snapshot (counters zeroed)
   std::uint64_t in_flight_blocks = 0;  ///< H2D migrations enqueued, not landed
   /// Faulted blocks already marked in-flight in the table but still queued in
   /// the fault engine (no transfer, no device frame yet).

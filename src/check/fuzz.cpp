@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "policy/policy_registry.hpp"
 #include "sim/config_parse.hpp"
 #include "sim/runner.hpp"
 
@@ -245,6 +246,14 @@ FuzzReport run_fuzz(const FuzzOptions& o) {
       cases.push_back(std::move(fc));
     } else {
       cases.push_back(generate_case(o.seed, i, o.gen));
+    }
+    if (!o.policy_slug.empty()) {
+      // Pin every case (mutated ones included) to the requested policy; an
+      // unregistered slug is a caller bug, not a fuzzing finding.
+      FuzzCase& fc = cases.back();
+      if (!apply_policy_name(fc.config.policy, o.policy_slug))
+        throw std::invalid_argument("run_fuzz: unknown policy '" + o.policy_slug +
+                                    "' (registered: " + registered_policy_names() + ")");
     }
   }
 

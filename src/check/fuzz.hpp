@@ -29,6 +29,10 @@ struct FuzzOptions {
   /// Every Nth case replays a mutated copy of an earlier case's trace under
   /// the earlier case's config (corpus-mutation mode); 0 disables.
   std::uint64_t mutate_every = 5;
+  /// Force every generated case onto this registry policy slug (empty: keep
+  /// the generator's per-case choice). Non-paper slugs put the oracle in
+  /// skip-decision mode (see RefModel).
+  std::string policy_slug;
   StreamGenOptions gen;
   /// Progress callback after each batch entry completes (serialized).
   std::function<void(std::uint64_t done, std::uint64_t total)> progress;

@@ -43,7 +43,22 @@ RefModel::RefModel(SimConfig cfg, InjectedFault fault)
     : cfg_(std::move(cfg)),
       fault_(fault),
       skip_halving_armed_(fault == InjectedFault::kSkipHalving),
-      flip_residency_armed_(fault == InjectedFault::kFlipResidency) {}
+      flip_residency_armed_(fault == InjectedFault::kFlipResidency) {
+  // Dispatch by the resolved slug, not the raw enum: a registry slug in the
+  // config overrides the enum, and only the four paper schemes have a
+  // side-effect-free reference implementation here.
+  const std::string slug = cfg_.policy.resolved_slug();
+  if (slug == "baseline")
+    ref_kind_ = PolicyKind::kFirstTouch;
+  else if (slug == "always")
+    ref_kind_ = PolicyKind::kStaticAlways;
+  else if (slug == "oversub")
+    ref_kind_ = PolicyKind::kStaticOversub;
+  else if (slug == "adaptive")
+    ref_kind_ = PolicyKind::kAdaptive;
+  else
+    reference_mode_ = false;
+}
 
 void RefModel::capture_layout(const AddressSpace& space) {
   capacity_blocks_ = derived_capacity_bytes(cfg_, space.footprint_bytes()) / kBasicBlockSize;
@@ -137,7 +152,7 @@ std::uint64_t RefModel::model_threshold(std::uint32_t counter_trips) const {
 MigrationDecision RefModel::model_decide(AccessType type, std::uint32_t post_count,
                                          std::uint32_t counter_trips) const {
   const PolicyConfig& p = cfg_.policy;
-  switch (p.policy) {
+  switch (ref_kind_) {
     case PolicyKind::kFirstTouch:
       return MigrationDecision::kMigrate;
     case PolicyKind::kStaticAlways:
@@ -317,7 +332,17 @@ void RefModel::on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_
   if (res != Residence::kHost) return;  // device hit or in-flight join
 
   const std::uint32_t counter_trips = trips_[addr >> unit_shift_];
-  MigrationDecision d;
+
+  if (!reference_mode_) {
+    // Skip-decision mode: still pin down the consultation's counter inputs;
+    // the migrate/remote choice is adopted from the driver in on_decision
+    // (which also applies the residency flip the model defers here).
+    pending_ = PendingDecision{addr, type, post_count, counter_trips,
+                               MigrationDecision::kRemoteAccess, false};
+    return;
+  }
+
+  MigrationDecision d = MigrationDecision::kRemoteAccess;
   const MemAdvice advice = advice_[b];
   switch (advice) {
     case MemAdvice::kAccessedBy:
@@ -370,9 +395,11 @@ void RefModel::on_decision(Cycle now, VirtAddr addr, AccessType type,
     return;
   }
   const PendingDecision& p = *pending_;
-  if (p.addr != addr || p.type != type || p.post_count != post_count ||
-      p.round_trips != round_trips || p.decision != decision ||
-      p.write_forced != write_forced) {
+  const bool input_mismatch = p.addr != addr || p.type != type ||
+                              p.post_count != post_count || p.round_trips != round_trips;
+  // In skip-decision mode only the consultation inputs are predicted.
+  if (input_mismatch ||
+      (reference_mode_ && (p.decision != decision || p.write_forced != write_forced))) {
     std::ostringstream os;
     os << "decision mismatch on addr 0x" << std::hex << addr << std::dec
        << ": driver (post=" << post_count << " trips=" << round_trips << " d="
@@ -381,6 +408,9 @@ void RefModel::on_decision(Cycle now, VirtAddr addr, AccessType type,
        << " d=" << to_cstr(p.decision) << " wf=" << p.write_forced << ')';
     diverge(now, os.str());
     return;
+  }
+  if (!reference_mode_ && decision == MigrationDecision::kMigrate) {
+    blocks_[block_of(addr)].res = Residence::kInFlight;
   }
   pending_.reset();
 }

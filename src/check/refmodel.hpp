@@ -50,7 +50,16 @@ enum class InjectedFault : std::uint8_t {
 /// reports whether the driver ever disagreed with the model.
 class RefModel final : public TraceSink {
  public:
+  /// The model re-derives decisions only for the four paper policies it
+  /// mirrors. For any other registry policy (a stateful online-adaptive one
+  /// cannot be replayed side-effect-free from the outside) the oracle runs
+  /// in *skip-decision mode*: it still verifies residency, the counter
+  /// inputs of every consultation, victim sets, occupancy and arrivals, but
+  /// adopts the driver's migrate/remote choice instead of predicting it.
   explicit RefModel(SimConfig cfg, InjectedFault fault = InjectedFault::kNone);
+
+  /// False when this run verifies a non-paper policy in skip-decision mode.
+  [[nodiscard]] bool reference_mode() const noexcept { return reference_mode_; }
 
   /// Capture allocation layout, derive device capacity and size every model
   /// structure. Must run after the workload builds and before any access;
@@ -121,6 +130,8 @@ class RefModel final : public TraceSink {
 
   SimConfig cfg_;
   InjectedFault fault_;
+  bool reference_mode_ = true;       ///< false: skip-decision (registry policy)
+  PolicyKind ref_kind_ = PolicyKind::kFirstTouch;  ///< dispatch when reference_mode_
   bool skip_halving_armed_;
   bool flip_residency_armed_;
   bool layout_captured_ = false;

@@ -1,0 +1,273 @@
+#include "check/tournament.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "policy/policy_registry.hpp"
+#include "sim/runner.hpp"
+
+namespace uvmsim {
+
+namespace {
+
+/// Scenario configs run bare: no audits, no tracing, no mitigation — the
+/// tournament measures policy quality, and every cell of one scenario must
+/// share the exact same environment.
+TournamentScenario scenario_from_case(FuzzCase fc) {
+  TournamentScenario s;
+  s.config = std::move(fc.config);
+  s.config.collect_traces = false;
+  s.config.copy_then_execute = false;
+  s.config.audit.enabled = false;
+  s.config.mitigation.enabled = false;
+  s.advice = std::move(fc.advice);
+  s.trace = std::move(fc.trace);
+  s.label = std::move(fc.label);
+  s.thrash = s.label.find("thrash") != std::string::npos &&
+             s.config.mem.oversubscription > 1.0;
+  return s;
+}
+
+bool is_oversubscribed_thrash_source(const FuzzCase& fc) {
+  return fc.label.find("thrash") != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<TournamentScenario> build_tournament_scenarios(std::uint64_t seed,
+                                                           std::uint64_t count,
+                                                           const StreamGenOptions& gen) {
+  std::vector<TournamentScenario> scenarios;
+  scenarios.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    scenarios.push_back(scenario_from_case(generate_case(seed, i, gen)));
+  }
+  if (std::any_of(scenarios.begin(), scenarios.end(),
+                  [](const TournamentScenario& s) { return s.thrash; })) {
+    return scenarios;
+  }
+  // Guarantee an oversubscribed thrash scenario: first try promoting an
+  // in-corpus thrash-patterned case that generated undersubscribed, then
+  // scan forward for a thrash-patterned case, forcing 150 % oversubscription
+  // either way. All deterministic in (seed, count).
+  for (TournamentScenario& s : scenarios) {
+    if (s.label.find("thrash") == std::string::npos) continue;
+    s.config.mem.oversubscription = 1.5;
+    s.label += "+forced-oversub";
+    s.thrash = true;
+    return scenarios;
+  }
+  for (std::uint64_t i = count; i < count + 512 && !scenarios.empty(); ++i) {
+    FuzzCase fc = generate_case(seed, i, gen);
+    if (!is_oversubscribed_thrash_source(fc)) continue;
+    fc.config.mem.oversubscription = 1.5;
+    fc.label += "+forced-oversub";
+    scenarios.back() = scenario_from_case(std::move(fc));
+    scenarios.back().thrash = true;
+    return scenarios;
+  }
+  return scenarios;  // unreachable in practice (thrash is 1 of 6 patterns)
+}
+
+TournamentResult run_tournament(const TournamentOptions& options) {
+  std::vector<std::string> policies = options.policies;
+  if (policies.empty()) {
+    policies = PolicyRegistry::instance().slugs();
+  } else {
+    for (const std::string& slug : policies) {
+      PolicyConfig probe;
+      if (!apply_policy_name(probe, slug))
+        throw std::invalid_argument("tournament: unknown policy '" + slug +
+                                    "' (registered: " + registered_policy_names() + ")");
+    }
+  }
+
+  TournamentResult result;
+  result.seed = options.seed;
+  result.scenarios = build_tournament_scenarios(options.seed, options.scenarios, options.gen);
+
+  // Cell grid, scenario-major: every policy replays the identical stream
+  // under the identical config apart from the policy selection itself.
+  std::vector<RunRequest> requests;
+  requests.reserve(result.scenarios.size() * policies.size());
+  for (std::size_t si = 0; si < result.scenarios.size(); ++si) {
+    const TournamentScenario& s = result.scenarios[si];
+    for (const std::string& slug : policies) {
+      RunRequest req;
+      req.config = s.config;
+      const bool known = apply_policy_name(req.config.policy, slug);
+      if (!known)  // validated above; registry is append-only
+        throw std::invalid_argument("tournament: policy vanished: " + slug);
+      // run_request() overwrites mem.oversubscription from the request field.
+      req.oversub = req.config.mem.oversubscription;
+      req.trace = s.trace;
+      req.label = s.label + "/" + slug;
+      requests.push_back(std::move(req));
+    }
+  }
+
+  BatchOptions bo;
+  bo.jobs = options.jobs;
+  const std::size_t per_scenario = policies.size();
+  bo.make_options = [&result, per_scenario](const RunRequest&, std::size_t index) {
+    const TournamentScenario& s = result.scenarios[index / per_scenario];
+    RunOptions ro;
+    ro.advice_hook = [&s](AddressSpace& space) {
+      const auto& allocs = space.allocations();
+      for (std::size_t i = 0; i < allocs.size() && i < s.advice.size(); ++i) {
+        if (s.advice[i] != MemAdvice::kNone) space.advise(allocs[i].id, s.advice[i]);
+      }
+    };
+    return ro;
+  };
+  if (options.progress) {
+    bo.on_done = [&options](const BatchEntry&, std::size_t done, std::size_t total) {
+      options.progress(done, total);
+    };
+  }
+  const BatchResult batch = run_batch(requests, bo);
+  result.wall_ms = batch.wall_ms;
+  result.jobs = batch.jobs;
+
+  result.cells.reserve(requests.size());
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    const BatchEntry& e = batch.entries[i];
+    TournamentCell cell;
+    cell.scenario = i / per_scenario;
+    cell.policy = policies[i % per_scenario];
+    if (!e.ok()) {
+      cell.error = e.error;
+    } else {
+      const SimConfig& cfg = e.request.config;
+      cell.ok = true;
+      cell.kernel_cycles = e.result.kernel_cycles();
+      cell.kernel_ms = e.result.kernel_ms(cfg.gpu.core_clock_ghz);
+      cell.far_faults = e.result.stats.far_faults;
+      cell.bytes_h2d = e.result.stats.bytes_h2d;
+      cell.bytes_d2h = e.result.stats.bytes_d2h;
+      cell.remote_accesses = e.result.stats.remote_accesses;
+      cell.evictions = e.result.stats.evictions;
+      cell.fault_cost = cell.far_faults * cfg.far_fault_cycles() +
+                        cell.remote_accesses * cfg.xfer.remote_access_latency;
+      if (cell.kernel_cycles > 0) {
+        cell.faults_per_sec = static_cast<double>(cell.far_faults) *
+                              cfg.gpu.core_clock_ghz * 1e9 /
+                              static_cast<double>(cell.kernel_cycles);
+      }
+    }
+    result.cells.push_back(std::move(cell));
+  }
+
+  // Leaderboard: aggregate per policy; a "win" is matching the scenario's
+  // minimal fault_cost among its ok cells.
+  result.leaderboard.reserve(policies.size());
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    TournamentRow row;
+    row.policy = policies[pi];
+    for (std::size_t si = 0; si < result.scenarios.size(); ++si) {
+      const TournamentCell& cell = result.cells[si * per_scenario + pi];
+      if (!cell.ok) {
+        ++row.failed;
+        continue;
+      }
+      row.kernel_cycles += cell.kernel_cycles;
+      row.kernel_ms += cell.kernel_ms;
+      row.far_faults += cell.far_faults;
+      row.bytes_h2d += cell.bytes_h2d;
+      row.bytes_d2h += cell.bytes_d2h;
+      row.remote_accesses += cell.remote_accesses;
+      row.evictions += cell.evictions;
+      row.fault_cost += cell.fault_cost;
+      std::uint64_t best = cell.fault_cost;
+      bool any_ok = false;
+      for (std::size_t pj = 0; pj < per_scenario; ++pj) {
+        const TournamentCell& other = result.cells[si * per_scenario + pj];
+        if (!other.ok) continue;
+        any_ok = true;
+        best = std::min(best, other.fault_cost);
+      }
+      if (any_ok && cell.fault_cost == best) ++row.wins;
+    }
+    if (row.kernel_ms > 0.0) {
+      // Aggregate rate over the policy's total simulated kernel time
+      // (kernel_ms already folds in each scenario's own core clock).
+      row.faults_per_sec = static_cast<double>(row.far_faults) / (row.kernel_ms / 1e3);
+    }
+    result.leaderboard.push_back(std::move(row));
+  }
+  std::sort(result.leaderboard.begin(), result.leaderboard.end(),
+            [](const TournamentRow& a, const TournamentRow& b) {
+              if (a.fault_cost != b.fault_cost) return a.fault_cost < b.fault_cost;
+              return a.policy < b.policy;
+            });
+  return result;
+}
+
+void write_tournament_csv(std::ostream& os, const TournamentResult& result) {
+  os.precision(17);
+  os << "rank,policy,wins,failed,fault_cost,kernel_cycles,kernel_ms,far_faults,"
+        "faults_per_sec,bytes_h2d,bytes_d2h,remote_accesses,evictions\n";
+  for (std::size_t i = 0; i < result.leaderboard.size(); ++i) {
+    const TournamentRow& r = result.leaderboard[i];
+    os << (i + 1) << ',' << r.policy << ',' << r.wins << ',' << r.failed << ','
+       << r.fault_cost << ',' << r.kernel_cycles << ',' << r.kernel_ms << ','
+       << r.far_faults << ',' << r.faults_per_sec << ',' << r.bytes_h2d << ','
+       << r.bytes_d2h << ',' << r.remote_accesses << ',' << r.evictions << '\n';
+  }
+}
+
+void write_tournament_json(std::ostream& os, const TournamentResult& result) {
+  os << "{\n  \"seed\": " << result.seed << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
+    const TournamentScenario& s = result.scenarios[i];
+    os << "    {\"index\": " << i << ", \"label\": ";
+    obs::write_json_string(os, s.label);
+    os << ", \"oversubscription\": ";
+    obs::write_json_number(os, s.config.mem.oversubscription);
+    os << ", \"records\": " << s.trace->total_records()
+       << ", \"thrash\": " << (s.thrash ? "true" : "false") << '}'
+       << (i + 1 < result.scenarios.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const TournamentCell& c = result.cells[i];
+    os << "    {\"scenario\": " << c.scenario << ", \"policy\": ";
+    obs::write_json_string(os, c.policy);
+    os << ", \"ok\": " << (c.ok ? "true" : "false");
+    if (c.ok) {
+      os << ", \"kernel_cycles\": " << c.kernel_cycles << ", \"kernel_ms\": ";
+      obs::write_json_number(os, c.kernel_ms);
+      os << ", \"far_faults\": " << c.far_faults << ", \"faults_per_sec\": ";
+      obs::write_json_number(os, c.faults_per_sec);
+      os << ", \"bytes_h2d\": " << c.bytes_h2d << ", \"bytes_d2h\": " << c.bytes_d2h
+         << ", \"remote_accesses\": " << c.remote_accesses
+         << ", \"evictions\": " << c.evictions << ", \"fault_cost\": " << c.fault_cost;
+    } else {
+      os << ", \"error\": ";
+      obs::write_json_string(os, c.error);
+    }
+    os << '}' << (i + 1 < result.cells.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"leaderboard\": [\n";
+  for (std::size_t i = 0; i < result.leaderboard.size(); ++i) {
+    const TournamentRow& r = result.leaderboard[i];
+    os << "    {\"rank\": " << (i + 1) << ", \"policy\": ";
+    obs::write_json_string(os, r.policy);
+    os << ", \"wins\": " << r.wins << ", \"failed\": " << r.failed
+       << ", \"fault_cost\": " << r.fault_cost << ", \"kernel_cycles\": " << r.kernel_cycles
+       << ", \"kernel_ms\": ";
+    obs::write_json_number(os, r.kernel_ms);
+    os << ", \"far_faults\": " << r.far_faults << ", \"faults_per_sec\": ";
+    obs::write_json_number(os, r.faults_per_sec);
+    os << ", \"bytes_h2d\": " << r.bytes_h2d << ", \"bytes_d2h\": " << r.bytes_d2h
+       << ", \"remote_accesses\": " << r.remote_accesses
+       << ", \"evictions\": " << r.evictions << '}'
+       << (i + 1 < result.leaderboard.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,111 @@
+// Policy tournament: run every (or a chosen set of) registered migration
+// policies across a deterministic streamgen scenario corpus on the parallel
+// batch engine, score each cell, and aggregate a leaderboard.
+//
+// Scoring is built purely from simulated quantities — kernel cycles /
+// milliseconds, far faults, the simulated fault arrival rate, migrated
+// bytes, and the aggregate fault-service cost
+//
+//   fault_cost = far_faults * far_fault_cycles
+//              + remote_accesses * remote_access_latency
+//
+// — so the CSV/JSON artifacts are byte-identical for any --jobs value. Real
+// wall time is reported separately (TournamentResult::wall_ms) and never
+// serialized into the artifacts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/streamgen.hpp"
+#include "sim/config.hpp"
+#include "trace/replay.hpp"
+
+namespace uvmsim {
+
+struct TournamentOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t scenarios = 8;  ///< streamgen cases in the corpus
+  unsigned jobs = 0;            ///< run_batch workers; 0 = hardware concurrency
+  /// Policy slugs to enter; empty = every registered policy (sorted). An
+  /// unregistered slug makes run_tournament throw std::invalid_argument.
+  std::vector<std::string> policies;
+  StreamGenOptions gen;
+  /// Progress callback after each cell completes (serialized).
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// One scenario of the corpus: a generated access stream replayed under an
+/// identical config for every entered policy. The corpus always contains at
+/// least one oversubscribed thrash scenario (`thrash` set) so adaptive
+/// policies are scored where they matter.
+struct TournamentScenario {
+  std::string label;
+  SimConfig config;  ///< policy field is overridden per cell
+  std::vector<MemAdvice> advice;
+  std::shared_ptr<const RecordedTrace> trace;
+  bool thrash = false;
+};
+
+/// One (scenario, policy) run.
+struct TournamentCell {
+  std::size_t scenario = 0;
+  std::string policy;
+  bool ok = false;
+  std::string error;  ///< non-empty when !ok
+  std::uint64_t kernel_cycles = 0;
+  double kernel_ms = 0.0;
+  std::uint64_t far_faults = 0;
+  double faults_per_sec = 0.0;  ///< simulated: far_faults over kernel seconds
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t fault_cost = 0;
+};
+
+/// Per-policy aggregate over all ok cells, leaderboard-ranked by total
+/// fault_cost ascending (ties broken by slug).
+struct TournamentRow {
+  std::string policy;
+  std::size_t wins = 0;    ///< scenarios where this policy hit the minimal fault_cost
+  std::size_t failed = 0;  ///< cells that errored
+  std::uint64_t kernel_cycles = 0;
+  double kernel_ms = 0.0;
+  std::uint64_t far_faults = 0;
+  double faults_per_sec = 0.0;  ///< aggregate faults over aggregate kernel time
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t fault_cost = 0;
+};
+
+struct TournamentResult {
+  std::uint64_t seed = 0;
+  std::vector<TournamentScenario> scenarios;
+  std::vector<TournamentCell> cells;  ///< scenario-major, policy order of options
+  std::vector<TournamentRow> leaderboard;
+  double wall_ms = 0.0;  ///< real elapsed time; NOT part of the artifacts
+  unsigned jobs = 1;
+};
+
+/// Build the deterministic scenario corpus for (seed, count): streamgen
+/// cases with audits/tracing/mitigation normalized off, guaranteed to
+/// contain at least one oversubscribed thrash scenario.
+[[nodiscard]] std::vector<TournamentScenario> build_tournament_scenarios(
+    std::uint64_t seed, std::uint64_t count, const StreamGenOptions& gen = {});
+
+/// Run the full grid. Throws std::invalid_argument on an unregistered slug
+/// in options.policies.
+[[nodiscard]] TournamentResult run_tournament(const TournamentOptions& options);
+
+/// Leaderboard artifact writers; both deterministic (no wall time).
+void write_tournament_csv(std::ostream& os, const TournamentResult& result);
+void write_tournament_json(std::ostream& os, const TournamentResult& result);
+
+}  // namespace uvmsim

@@ -81,27 +81,14 @@ class Simulator {
 
   using AdviceHook = std::function<void(AddressSpace&)>;
 
-  /// Deprecated forwarding shims for the pre-RunOptions mutator API; they
-  /// populate the options used by the zero-argument run() overload.
-  [[deprecated("pass RunOptions to run() instead")]]
-  void set_trace_sink(TraceSink* sink) noexcept { default_opts_.trace_sink = sink; }
-  [[deprecated("pass RunOptions to run() instead")]]
-  void set_timeline(Timeline* timeline, Cycle interval = 100000) noexcept {
-    default_opts_.timeline = timeline;
-    default_opts_.timeline_interval = interval;
-  }
-  [[deprecated("pass RunOptions to run() instead")]]
-  void set_advice_hook(AdviceHook hook) { default_opts_.advice_hook = std::move(hook); }
-
   /// Run `workload` to completion and return the collected results.
   [[nodiscard]] RunResult run(Workload& workload, const RunOptions& opts);
-  [[nodiscard]] RunResult run(Workload& workload) { return run(workload, default_opts_); }
+  [[nodiscard]] RunResult run(Workload& workload) { return run(workload, RunOptions{}); }
 
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
 
  private:
   SimConfig cfg_;
-  RunOptions default_opts_;  ///< populated by the deprecated setters only
 };
 
 /// Device capacity a run will use: SimConfig::mem.device_capacity_bytes, or —

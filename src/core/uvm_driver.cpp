@@ -46,11 +46,36 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
   }
 }
 
-PolicyContext UvmDriver::policy_context() const noexcept {
-  const bool overcommitted =
-      space_.footprint_bytes() > device_.capacity_blocks() * kBasicBlockSize;
-  return PolicyContext{device_.used_pages(), device_.capacity_pages(), device_.ever_full(),
-                       overcommitted};
+PolicyFeatures UvmDriver::features(AccessType type, std::uint32_t post_count,
+                                   std::uint32_t round_trips, Cycle now) const noexcept {
+  PolicyFeatures f;
+  f.type = type;
+  f.post_count = post_count;
+  f.round_trips = round_trips;
+  f.resident_pages = device_.used_pages();
+  f.capacity_pages = device_.capacity_pages();
+  f.oversubscribed = device_.ever_full();
+  f.overcommitted = space_.footprint_bytes() > device_.capacity_blocks() * kBasicBlockSize;
+  f.now = now;
+  f.window_faults = feat_window_faults_;
+  f.prev_window_faults = feat_prev_faults_;
+  f.window_evictions = feat_window_evictions_;
+  f.prev_window_evictions = feat_prev_evictions_;
+  f.total_faults = stats_.far_faults;
+  f.total_evictions = stats_.evictions;
+  return f;
+}
+
+void UvmDriver::roll_feature_window(Cycle now) noexcept {
+  if (now - feat_window_start_ < kFeatureWindowCycles) return;
+  // A gap larger than one window means the intervening windows were silent,
+  // so the "previous window" the policy sees is empty.
+  const Cycle windows = (now - feat_window_start_) / kFeatureWindowCycles;
+  feat_prev_faults_ = windows == 1 ? feat_window_faults_ : 0;
+  feat_prev_evictions_ = windows == 1 ? feat_window_evictions_ : 0;
+  feat_window_faults_ = 0;
+  feat_window_evictions_ = 0;
+  feat_window_start_ += windows * kFeatureWindowCycles;
 }
 
 AuditScope UvmDriver::audit_scope() const noexcept {
@@ -64,7 +89,7 @@ AuditScope UvmDriver::audit_scope() const noexcept {
   s.stats = &stats_;
   s.policy = policy_.get();
   s.policy_cfg = &cfg_.policy;
-  s.policy_ctx = policy_context();
+  s.policy_features = features(AccessType::kRead, 0, 0, queue_.now());
   s.in_flight_blocks = in_flight_;
   s.queued_fault_blocks = queued_fault_blocks_;
   s.historic_counters = cfg_.policy.historic_counters();
@@ -81,6 +106,7 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
   // Audit on entry: the structures are quiescent between events, so a pass
   // here sees a consistent snapshot before this access mutates anything.
   if (audit_) audit_->on_event(audit_scope(), stats_);
+  roll_feature_window(now);
   stats_.total_accesses += count;
   const BlockNum b = block_of(addr);
   const Residence res = table_.block(b).residence;
@@ -115,13 +141,12 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
       break;
   }
 
-  const CounterSnapshot snap{post_count, counters_.round_trips(addr)};
-  const PolicyContext ctx = policy_context();
+  const PolicyFeatures feat = features(type, post_count, counters_.round_trips(addr), now);
 
   // Programmer hints override the driver policy (paper §III-C):
   // kAccessedBy establishes a permanent zero-copy mapping; kPreferredHost is
   // a soft pin serviced with Volta's static delayed-migration semantics.
-  MigrationDecision d;
+  MigrationDecision d = MigrationDecision::kRemoteAccess;
   const MemAdvice advice = block_advice_[b];
   switch (advice) {
     case MemAdvice::kAccessedBy:
@@ -133,7 +158,7 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
               : MigrationDecision::kRemoteAccess;
       break;
     case MemAdvice::kNone:
-      d = policy_->decide(type, snap, ctx);
+      d = policy_->decide(feat);
       break;
   }
 
@@ -150,7 +175,7 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
 
   if (d == MigrationDecision::kRemoteAccess) {
     if (trace_ != nullptr) {
-      trace_->on_decision(now, addr, type, snap.post_count, snap.round_trips, d,
+      trace_->on_decision(now, addr, type, feat.post_count, feat.round_trips, d,
                           /*write_forced=*/false);
     }
     ++stats_.decide_remote;
@@ -185,16 +210,16 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
     if (advice == MemAdvice::kPreferredHost) {
       write_forced = post_count < cfg_.policy.static_threshold;
     } else {
-      write_forced = policy_->decide(AccessType::kRead, snap, ctx) ==
-                     MigrationDecision::kRemoteAccess;
+      write_forced = !policy_->read_would_migrate(feat);
     }
   }
   if (write_forced) ++stats_.write_forced_migrations;
   if (trace_ != nullptr) {
-    trace_->on_decision(now, addr, type, snap.post_count, snap.round_trips, d, write_forced);
+    trace_->on_decision(now, addr, type, feat.post_count, feat.round_trips, d, write_forced);
   }
 
   ++stats_.far_faults;
+  ++feat_window_faults_;
   raise_fault(b, w, /*with_prefetch=*/!write_forced);
   if (type == AccessType::kWrite) table_.block(b).dirty_on_arrival = true;
   return AccessOutcome{true, 0};
@@ -245,6 +270,8 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
   if (trace_ != nullptr) trace_->on_eviction(now, faulting_chunk, victims);
 
   ++stats_.evictions;
+  roll_feature_window(now);
+  ++feat_window_evictions_;
   for (BlockNum v : victims) {
     const bool dirty = table_.mark_evicted(v);
     if (peers_ != nullptr) peers_->clear_resident(v, gpu_id_);

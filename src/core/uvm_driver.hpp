@@ -108,7 +108,10 @@ class UvmDriver {
     bool with_prefetch;
   };
 
-  [[nodiscard]] PolicyContext policy_context() const noexcept;
+  [[nodiscard]] PolicyFeatures features(AccessType type, std::uint32_t post_count,
+                                        std::uint32_t round_trips, Cycle now) const noexcept;
+  /// Advance the fault/eviction activity window feeding PolicyFeatures.
+  void roll_feature_window(Cycle now) noexcept;
   [[nodiscard]] AuditScope audit_scope() const noexcept;
   void raise_fault(BlockNum b, WarpId w, bool with_prefetch);
   void maybe_start_engine();
@@ -154,6 +157,15 @@ class UvmDriver {
 
   std::vector<BlockNum> expand_buf_;
   std::vector<BlockNum> victim_buf_;  ///< reused across evict_for calls
+
+  // Windowed activity counters feeding PolicyFeatures (allocation-free):
+  // far faults raised and large pages evicted in the current
+  // kFeatureWindowCycles window, plus the completed previous window.
+  Cycle feat_window_start_ = 0;
+  std::uint32_t feat_window_faults_ = 0;
+  std::uint32_t feat_prev_faults_ = 0;
+  std::uint32_t feat_window_evictions_ = 0;
+  std::uint32_t feat_prev_evictions_ = 0;
 };
 
 }  // namespace uvmsim

@@ -1,0 +1,116 @@
+// Online-adaptive migration policies built on the PolicyFeatures API
+// (ROADMAP item 5, in the direction of "An Intelligent Framework for
+// Oversubscription Management in CPU-GPU Unified Memory"). Both are
+// integer-only and stateful-but-deterministic: decisions depend solely on
+// the consultation sequence, never on wall clock or process-global RNG.
+//
+// * TunedThresholdPolicy ("tuned") — hill-climbing threshold tuner. Runs
+//   first-touch until the device first fills, then applies a static-style
+//   threshold it re-tunes every epoch of kEpochEvents consultations: the
+//   epoch's fault-service cost (migrations weighted far-fault-heavy, remote
+//   accesses cheap, plus eviction pressure) is compared against the previous
+//   epoch's, the climb direction reverses when cost worsened, and the
+//   threshold steps by max(1, ts/4) within [1, 8*ts_base].
+//
+// * LearnedTablePolicy ("learned") — table-based learned predictor. A
+//   256-entry table indexed by quantized (round_trips, occupancy,
+//   fault-arrival-rate) holds per-bucket outcome counters (clean migrations
+//   vs re-migrations of previously evicted blocks). Each bucket's threshold
+//   hardens from ts toward ts*(1+p) as its observed thrash ratio grows —
+//   a per-regime version of Equation 1's multiplicative pinning.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "policy/migration_policy.hpp"
+
+namespace uvmsim {
+
+class PolicyRegistry;
+
+class TunedThresholdPolicy final : public MigrationPolicy {
+ public:
+  /// Consultations per tuning epoch: long enough to smooth single-block
+  /// noise, short enough to adapt within one oversubscribed kernel launch.
+  static constexpr std::uint32_t kEpochEvents = 256;
+  /// Decision costs, roughly the latency ratio between a far fault
+  /// (~45 us handling) and a zero-copy remote access (~200 cycles); the
+  /// eviction term charges the thrash externality of migrating under
+  /// pressure.
+  static constexpr std::uint64_t kMigrateCost = 64;
+  static constexpr std::uint64_t kRemoteCost = 1;
+  static constexpr std::uint64_t kEvictCost = 32;
+
+  TunedThresholdPolicy(std::uint32_t ts, bool write_migrates)
+      : ts_base_(ts == 0 ? 1 : ts), ts_cur_(ts_base_), ts_max_(8 * ts_base_),
+        write_migrates_(write_migrates) {}
+
+  [[nodiscard]] std::string name() const override { return "tuned"; }
+  [[nodiscard]] MigrationDecision decide(const PolicyFeatures& f) override;
+  [[nodiscard]] std::uint64_t effective_threshold(const PolicyFeatures& f) const override {
+    return f.oversubscribed ? ts_cur_ : 1;
+  }
+
+  /// Current tuned threshold (test hook).
+  [[nodiscard]] std::uint32_t current_threshold() const noexcept { return ts_cur_; }
+
+ private:
+  void end_epoch(std::uint64_t total_evictions);
+
+  std::uint32_t ts_base_;
+  std::uint32_t ts_cur_;
+  std::uint32_t ts_max_;
+  bool write_migrates_;
+  int direction_ = 1;  ///< climb direction; reversed when an epoch worsened cost
+  std::uint32_t epoch_events_ = 0;
+  std::uint64_t epoch_cost_ = 0;
+  std::uint64_t epoch_start_evictions_ = 0;
+  bool have_prev_cost_ = false;
+  std::uint64_t prev_cost_ = 0;
+};
+
+class LearnedTablePolicy final : public MigrationPolicy {
+ public:
+  static constexpr std::uint32_t kTripBuckets = 8;
+  static constexpr std::uint32_t kOccBuckets = 8;
+  static constexpr std::uint32_t kRateBuckets = 4;
+  static constexpr std::uint32_t kCells = kTripBuckets * kOccBuckets * kRateBuckets;
+  /// Saturation cap on the per-cell counters; keeps the threshold product
+  /// far from uint64 overflow even with the paper's p = 2^20 sweep point.
+  static constexpr std::uint32_t kCounterCap = 65535;
+
+  LearnedTablePolicy(std::uint32_t ts, std::uint64_t penalty, bool write_migrates)
+      : ts_(ts == 0 ? 1 : ts), penalty_(penalty), write_migrates_(write_migrates) {}
+
+  [[nodiscard]] std::string name() const override { return "learned"; }
+  [[nodiscard]] MigrationDecision decide(const PolicyFeatures& f) override;
+  [[nodiscard]] std::uint64_t effective_threshold(const PolicyFeatures& f) const override {
+    return f.oversubscribed ? cell_threshold(table_[cell_index(f)]) : 1;
+  }
+
+  /// Quantized feature-cell index (test hook).
+  [[nodiscard]] static std::uint32_t cell_index(const PolicyFeatures& f) noexcept;
+
+ private:
+  struct Cell {
+    std::uint32_t migrations = 0;  ///< first-residency migrations observed
+    std::uint32_t thrashes = 0;    ///< re-migrations of previously evicted blocks
+  };
+
+  [[nodiscard]] std::uint64_t cell_threshold(const Cell& c) const noexcept {
+    // ts .. ts*(1+p) as the bucket's thrash ratio goes 0 -> 1; the +1 in the
+    // denominator is a prior that keeps unseen buckets at plain ts.
+    return ts_ + ts_ * penalty_ * c.thrashes / (c.migrations + c.thrashes + 1);
+  }
+
+  std::uint32_t ts_;
+  std::uint64_t penalty_;
+  bool write_migrates_;
+  std::array<Cell, kCells> table_{};
+};
+
+/// Called by register_builtin_policies(); registers "tuned" and "learned".
+void register_adaptive_policies(PolicyRegistry& registry);
+
+}  // namespace uvmsim

@@ -1,18 +1,23 @@
 #include "policy/migration_policy.hpp"
 
+#include "policy/policy_registry.hpp"
+
 namespace uvmsim {
 
-MigrationDecision StaticThresholdPolicy::decide(AccessType type, const CounterSnapshot& c,
-                                                const PolicyContext& ctx) const {
-  if (gate_on_oversub_ && !ctx.oversubscribed) return MigrationDecision::kMigrate;
-  if (type == AccessType::kWrite && write_migrates_) return MigrationDecision::kMigrate;
-  return c.post_count >= ts_ ? MigrationDecision::kMigrate : MigrationDecision::kRemoteAccess;
+MigrationDecision StaticThresholdPolicy::decide(const PolicyFeatures& f) {
+  if (gate_on_oversub_ && !f.oversubscribed) return MigrationDecision::kMigrate;
+  if (f.type == AccessType::kWrite && write_migrates_) return MigrationDecision::kMigrate;
+  return f.post_count >= ts_ ? MigrationDecision::kMigrate : MigrationDecision::kRemoteAccess;
 }
 
-std::uint64_t StaticThresholdPolicy::effective_threshold(const CounterSnapshot&,
-                                                         const PolicyContext& ctx) const {
-  if (gate_on_oversub_ && !ctx.oversubscribed) return 1;
+std::uint64_t StaticThresholdPolicy::effective_threshold(const PolicyFeatures& f) const {
+  if (gate_on_oversub_ && !f.oversubscribed) return 1;
   return ts_;
+}
+
+bool StaticThresholdPolicy::read_would_migrate(const PolicyFeatures& f) const {
+  if (gate_on_oversub_ && !f.oversubscribed) return true;
+  return f.post_count >= ts_;
 }
 
 std::uint64_t adaptive_threshold(std::uint32_t ts, std::uint64_t resident_pages,
@@ -29,35 +34,20 @@ std::uint64_t adaptive_threshold(std::uint32_t ts, std::uint64_t resident_pages,
          penalty;
 }
 
-MigrationDecision AdaptivePolicy::decide(AccessType type, const CounterSnapshot& c,
-                                         const PolicyContext& ctx) const {
-  if (type == AccessType::kWrite && write_migrates_) return MigrationDecision::kMigrate;
-  const std::uint64_t td = adaptive_threshold(ts_, ctx.resident_pages, ctx.capacity_pages,
-                                              ctx.overcommitted, c.round_trips, penalty_);
-  return c.post_count >= td ? MigrationDecision::kMigrate : MigrationDecision::kRemoteAccess;
+MigrationDecision AdaptivePolicy::decide(const PolicyFeatures& f) {
+  if (f.type == AccessType::kWrite && write_migrates_) return MigrationDecision::kMigrate;
+  const std::uint64_t td = adaptive_threshold(ts_, f.resident_pages, f.capacity_pages,
+                                              f.overcommitted, f.round_trips, penalty_);
+  return f.post_count >= td ? MigrationDecision::kMigrate : MigrationDecision::kRemoteAccess;
 }
 
-std::uint64_t AdaptivePolicy::effective_threshold(const CounterSnapshot& c,
-                                                  const PolicyContext& ctx) const {
-  return adaptive_threshold(ts_, ctx.resident_pages, ctx.capacity_pages, ctx.overcommitted,
-                            c.round_trips, penalty_);
+std::uint64_t AdaptivePolicy::effective_threshold(const PolicyFeatures& f) const {
+  return adaptive_threshold(ts_, f.resident_pages, f.capacity_pages, f.overcommitted,
+                            f.round_trips, penalty_);
 }
 
 std::unique_ptr<MigrationPolicy> make_policy(const PolicyConfig& cfg) {
-  switch (cfg.policy) {
-    case PolicyKind::kFirstTouch:
-      return std::make_unique<FirstTouchPolicy>();
-    case PolicyKind::kStaticAlways:
-      return std::make_unique<StaticThresholdPolicy>(cfg.static_threshold,
-                                                     cfg.write_triggers_migration, false);
-    case PolicyKind::kStaticOversub:
-      return std::make_unique<StaticThresholdPolicy>(cfg.static_threshold,
-                                                     cfg.write_triggers_migration, true);
-    case PolicyKind::kAdaptive:
-      return std::make_unique<AdaptivePolicy>(cfg.static_threshold, cfg.migration_penalty,
-                                              cfg.adaptive_write_migrates);
-  }
-  return nullptr;
+  return PolicyRegistry::instance().make(cfg);
 }
 
 }  // namespace uvmsim

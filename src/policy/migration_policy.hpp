@@ -2,18 +2,26 @@
 // host-resident basic block, decide between raising a far-fault (migrate)
 // and servicing the access remotely over zero-copy PCIe.
 //
-// * FirstTouchPolicy   — Baseline / "Disabled": always migrate.
-// * StaticThresholdPolicy (gate_on_oversub = false) — "Always": Volta-style
+// Every policy consumes one `PolicyFeatures` snapshot per consultation — a
+// flat value struct the driver populates allocation-free on the fault path.
+// Policies are instantiated through the slug-keyed registry
+// (policy/policy_registry.hpp); the four paper schemes are:
+//
+// * FirstTouchPolicy ("baseline") — Baseline / "Disabled": always migrate.
+// * StaticThresholdPolicy ("always", gate_on_oversub = false) — Volta-style
 //   static access-counter threshold ts from the start; writes migrate
 //   immediately.
-// * StaticThresholdPolicy (gate_on_oversub = true) — "Oversub": first-touch
+// * StaticThresholdPolicy ("oversub", gate_on_oversub = true) — first-touch
 //   until the device first runs out of memory, static threshold afterwards.
-// * AdaptivePolicy     — this paper: dynamic threshold td (Equation 1)
+// * AdaptivePolicy ("adaptive") — this paper: dynamic threshold td (Eq. 1)
 //       td = ts * allocated/total + 1      while never oversubscribed
 //       td = ts * (r + 1) * p              once oversubscribed
 //   where r is the block's round-trip (eviction) count. The dynamic
 //   threshold degrades to first touch on an empty device and hardens the
 //   pinning of thrashed blocks multiplicatively.
+//
+// Online-adaptive policies ("tuned", "learned") live in
+// policy/adaptive_policies.hpp.
 #pragma once
 
 #include <cstdint>
@@ -25,10 +33,24 @@
 
 namespace uvmsim {
 
-/// Memory state snapshot the policy may consult.
-struct PolicyContext {
-  std::uint64_t resident_pages = 0;   ///< 4 KB pages currently allocated on device
-  std::uint64_t capacity_pages = 0;   ///< device capacity in 4 KB pages
+/// Cycle length of the driver's fault/eviction activity window feeding
+/// PolicyFeatures::window_*. Matches the eviction-protection window so one
+/// window covers roughly "what scheduled warps touch right now".
+inline constexpr Cycle kFeatureWindowCycles = 65536;
+
+/// Feature vector a policy consultation sees: the access being decided, the
+/// per-block counter state, device occupancy, and windowed driver activity.
+/// Populated by UvmDriver on the fault path — plain integers only, no
+/// allocation, so adding a consumer costs nothing on the hot path.
+struct PolicyFeatures {
+  // --- the access under decision -----------------------------------------
+  AccessType type = AccessType::kRead;
+  std::uint32_t post_count = 0;   ///< access count after the increment
+  std::uint32_t round_trips = 0;  ///< evictions this block suffered (r)
+
+  // --- device occupancy ---------------------------------------------------
+  std::uint64_t resident_pages = 0;  ///< 4 KB pages currently allocated on device
+  std::uint64_t capacity_pages = 0;  ///< device capacity in 4 KB pages
   /// The device has actually run out of space at least once (first eviction).
   /// This dynamic event gates the "Oversub" static scheme.
   bool oversubscribed = false;
@@ -38,37 +60,69 @@ struct PolicyContext {
   /// threshold hardens from the very first access, which is what lets a huge
   /// penalty p approximate pure host-pinned zero-copy (paper §VI-D).
   bool overcommitted = false;
-};
 
-/// Per-unit counter snapshot (value already includes this access).
-struct CounterSnapshot {
-  std::uint32_t post_count = 0;   ///< access count after the increment
-  std::uint32_t round_trips = 0;  ///< evictions suffered (r)
+  // --- clock and windowed activity ----------------------------------------
+  Cycle now = 0;  ///< simulation clock at the consultation
+  /// Far faults raised / large pages evicted inside the current
+  /// kFeatureWindowCycles window and the immediately preceding one. The
+  /// previous-window values smooth the sawtooth a fresh window starts with.
+  std::uint32_t window_faults = 0;
+  std::uint32_t prev_window_faults = 0;
+  std::uint32_t window_evictions = 0;
+  std::uint32_t prev_window_evictions = 0;
+  std::uint64_t total_faults = 0;     ///< cumulative far faults
+  std::uint64_t total_evictions = 0;  ///< cumulative large-page evictions
+
+  /// Device occupancy ratio in [0, 1].
+  [[nodiscard]] double occupancy() const noexcept {
+    return capacity_pages == 0
+               ? 0.0
+               : static_cast<double>(resident_pages) / static_cast<double>(capacity_pages);
+  }
+  /// Fault-arrival rate proxy: faults over the last two windows.
+  [[nodiscard]] std::uint32_t fault_arrival_rate() const noexcept {
+    return window_faults + prev_window_faults;
+  }
+  /// Eviction pressure proxy: evictions over the last two windows.
+  [[nodiscard]] std::uint32_t eviction_pressure() const noexcept {
+    return window_evictions + prev_window_evictions;
+  }
 };
 
 class MigrationPolicy {
  public:
   virtual ~MigrationPolicy() = default;
+
+  /// The registry slug this policy was constructed under (e.g. "adaptive").
   [[nodiscard]] virtual std::string name() const = 0;
-  [[nodiscard]] virtual MigrationDecision decide(AccessType type, const CounterSnapshot& c,
-                                                 const PolicyContext& ctx) const = 0;
+
+  /// One consultation per policy-routed access to a host-resident block.
+  /// Non-const: online-adaptive policies update internal state here, so the
+  /// driver must consult exactly once per decided access.
+  [[nodiscard]] virtual MigrationDecision decide(const PolicyFeatures& f) = 0;
+
   /// Effective migration threshold for diagnostics ('inf' semantics never
-  /// arise: thresholds are finite).
-  [[nodiscard]] virtual std::uint64_t effective_threshold(const CounterSnapshot& c,
-                                                          const PolicyContext& ctx) const = 0;
+  /// arise: thresholds are finite). Const: safe for audits and probes.
+  [[nodiscard]] virtual std::uint64_t effective_threshold(const PolicyFeatures& f) const = 0;
+
+  /// Counterfactual probe: would a *read* with these features migrate? Used
+  /// by the driver to tag write-forced migrations (a write that migrated
+  /// only because of Volta write semantics) without a mutating consultation.
+  [[nodiscard]] virtual bool read_would_migrate(const PolicyFeatures& f) const {
+    return f.post_count >= effective_threshold(f);
+  }
 };
 
 class FirstTouchPolicy final : public MigrationPolicy {
  public:
-  [[nodiscard]] std::string name() const override { return "first-touch"; }
-  [[nodiscard]] MigrationDecision decide(AccessType, const CounterSnapshot&,
-                                         const PolicyContext&) const override {
+  [[nodiscard]] std::string name() const override { return "baseline"; }
+  [[nodiscard]] MigrationDecision decide(const PolicyFeatures&) override {
     return MigrationDecision::kMigrate;
   }
-  [[nodiscard]] std::uint64_t effective_threshold(const CounterSnapshot&,
-                                                  const PolicyContext&) const override {
+  [[nodiscard]] std::uint64_t effective_threshold(const PolicyFeatures&) const override {
     return 1;
   }
+  [[nodiscard]] bool read_would_migrate(const PolicyFeatures&) const override { return true; }
 };
 
 class StaticThresholdPolicy final : public MigrationPolicy {
@@ -77,12 +131,11 @@ class StaticThresholdPolicy final : public MigrationPolicy {
       : ts_(ts), write_migrates_(write_migrates), gate_on_oversub_(gate_on_oversub) {}
 
   [[nodiscard]] std::string name() const override {
-    return gate_on_oversub_ ? "static-oversub" : "static-always";
+    return gate_on_oversub_ ? "oversub" : "always";
   }
-  [[nodiscard]] MigrationDecision decide(AccessType type, const CounterSnapshot& c,
-                                         const PolicyContext& ctx) const override;
-  [[nodiscard]] std::uint64_t effective_threshold(const CounterSnapshot&,
-                                                  const PolicyContext& ctx) const override;
+  [[nodiscard]] MigrationDecision decide(const PolicyFeatures& f) override;
+  [[nodiscard]] std::uint64_t effective_threshold(const PolicyFeatures& f) const override;
+  [[nodiscard]] bool read_would_migrate(const PolicyFeatures& f) const override;
 
  private:
   std::uint32_t ts_;
@@ -102,10 +155,8 @@ class AdaptivePolicy final : public MigrationPolicy {
       : ts_(ts), penalty_(penalty), write_migrates_(write_migrates) {}
 
   [[nodiscard]] std::string name() const override { return "adaptive"; }
-  [[nodiscard]] MigrationDecision decide(AccessType type, const CounterSnapshot& c,
-                                         const PolicyContext& ctx) const override;
-  [[nodiscard]] std::uint64_t effective_threshold(const CounterSnapshot& c,
-                                                  const PolicyContext& ctx) const override;
+  [[nodiscard]] MigrationDecision decide(const PolicyFeatures& f) override;
+  [[nodiscard]] std::uint64_t effective_threshold(const PolicyFeatures& f) const override;
 
  private:
   std::uint32_t ts_;
@@ -113,6 +164,9 @@ class AdaptivePolicy final : public MigrationPolicy {
   bool write_migrates_;
 };
 
+/// Instantiate the policy selected by `cfg.resolved_slug()` through the
+/// registry (policy/policy_registry.hpp). Throws std::invalid_argument for
+/// an unregistered slug.
 [[nodiscard]] std::unique_ptr<MigrationPolicy> make_policy(const PolicyConfig& cfg);
 
 }  // namespace uvmsim

@@ -20,7 +20,7 @@ void write_run_csv_header(std::ostream& os) {
 
 void append_run_csv(std::ostream& os, const std::string& workload, const SimConfig& cfg,
                     double oversub, const RunResult& r) {
-  os << workload << ',' << policy_slug(cfg.policy.policy) << ','
+  os << workload << ',' << cfg.policy.resolved_slug() << ','
      << to_string(cfg.mem.eviction) << ',' << to_string(cfg.mem.prefetcher) << ','
      << cfg.policy.static_threshold << ',' << cfg.policy.migration_penalty << ','
      << oversub << ',' << r.footprint_bytes << ',' << r.capacity_bytes;

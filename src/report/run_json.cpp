@@ -46,7 +46,7 @@ void write_run_json(std::ostream& os, const std::string& workload, const SimConf
   const SimStats& s = r.stats;
   JsonObject obj(os);
   obj.field("workload", workload);
-  obj.field("policy", std::string(policy_slug(cfg.policy.policy)));
+  obj.field("policy", cfg.policy.resolved_slug());
   obj.field("eviction", to_string(cfg.mem.eviction));
   obj.field("prefetcher", to_string(cfg.mem.prefetcher));
   obj.field("ts", static_cast<std::uint64_t>(cfg.policy.static_threshold));

@@ -115,7 +115,10 @@ std::string describe(const SimConfig& cfg) {
      << "Far-fault Handling      " << cfg.xfer.far_fault_latency_us << " us ("
      << cfg.far_fault_cycles() << " cycles)\n"
      << "Hardware Prefetcher     " << to_string(cfg.mem.prefetcher) << "\n"
-     << "Migration Policy        " << to_string(cfg.policy.policy) << "\n"
+     << "Migration Policy        "
+     << (cfg.policy.slug.empty() ? to_string(cfg.policy.policy)
+                                 : cfg.policy.slug + " (registry policy)")
+     << "\n"
      << "Static Access Threshold ts = " << cfg.policy.static_threshold << "\n"
      << "Migration Penalty       p = " << cfg.policy.migration_penalty << "\n"
      << "Counter Granularity     " << (cfg.mem.counter_granularity >> 10)

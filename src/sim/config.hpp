@@ -115,6 +115,10 @@ struct MemConfig {
 /// Migration-policy configuration.
 struct PolicyConfig {
   PolicyKind policy = PolicyKind::kFirstTouch;
+  /// Registry slug selecting a non-paper policy (policy/policy_registry.hpp).
+  /// Empty (the default) means `policy` picks one of the four paper schemes;
+  /// non-empty overrides the enum and is looked up in the registry.
+  std::string slug;
   std::uint32_t static_threshold = 8;        ///< ts in {8, 16, 32}
   std::uint64_t migration_penalty = 8;       ///< p in {2, 4, 8, 1048576}
   /// Volta semantics for the *static* threshold schemes: a write to a
@@ -134,11 +138,21 @@ struct PolicyConfig {
   /// sharply on ra). Knob exists for ablation.
   bool historic_counters_override = false;  ///< force historic for all policies
 
+  /// The slug every serialized report (CSV/JSON, artifact filenames) and the
+  /// policy registry key on: the explicit `slug` when set, otherwise the
+  /// paper scheme's canonical slug (baseline | always | oversub | adaptive).
+  [[nodiscard]] std::string resolved_slug() const {
+    return slug.empty() ? std::string(policy_slug(policy)) : slug;
+  }
+
   /// True when this policy keeps historic (local+remote, never reset)
-  /// counters; false for the Volta remote-only semantics.
+  /// counters; false for the Volta remote-only semantics. The stock Volta
+  /// semantics exist to model Baseline and Always; every framework scheme —
+  /// including all registry (non-paper) policies — uses historic counters.
   [[nodiscard]] bool historic_counters() const noexcept {
-    return historic_counters_override || policy == PolicyKind::kAdaptive ||
-           policy == PolicyKind::kStaticOversub;
+    if (historic_counters_override) return true;
+    if (!slug.empty()) return slug != "baseline" && slug != "always";
+    return policy == PolicyKind::kAdaptive || policy == PolicyKind::kStaticOversub;
   }
 };
 

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "policy/policy_registry.hpp"
+
 namespace uvmsim {
 
 namespace {
@@ -56,13 +58,12 @@ double parse_f64(const std::string& key, const std::string& v) {
   }
 }
 
-PolicyKind parse_policy(const std::string& key, const std::string& v) {
-  const std::string s = lower(v);
-  if (s == "baseline" || s == "first-touch" || s == "disabled") return PolicyKind::kFirstTouch;
-  if (s == "always") return PolicyKind::kStaticAlways;
-  if (s == "oversub") return PolicyKind::kStaticOversub;
-  if (s == "adaptive") return PolicyKind::kAdaptive;
-  throw std::invalid_argument("config: bad policy for " + key + ": " + v);
+void parse_policy_into(PolicyConfig& pc, const std::string& key, const std::string& v) {
+  // Registry lookup (policy/policy_registry.hpp): paper names set the enum,
+  // any other registered slug is recorded in pc.slug.
+  if (!apply_policy_name(pc, v))
+    throw std::invalid_argument("config: bad policy for " + key + ": " + v +
+                                " (registered: " + registered_policy_names() + ")");
 }
 
 EvictionKind parse_eviction(const std::string& key, const std::string& v) {
@@ -196,7 +197,7 @@ const std::map<std::string, Setter>& setters() {
       // Policy.
       {"policy",
        [](SimConfig& c, const std::string& k, const std::string& v) {
-         c.policy.policy = parse_policy(k, v);
+         parse_policy_into(c.policy, k, v);
        }},
       {"policy.static_threshold",
        [](SimConfig& c, const std::string& k, const std::string& v) {
@@ -298,13 +299,7 @@ std::string to_config_string(const SimConfig& c) {
   std::ostringstream os;
   os.precision(17);
   auto b = [](bool v) { return v ? "true" : "false"; };
-  const char* policy = "baseline";
-  switch (c.policy.policy) {
-    case PolicyKind::kFirstTouch: policy = "baseline"; break;
-    case PolicyKind::kStaticAlways: policy = "always"; break;
-    case PolicyKind::kStaticOversub: policy = "oversub"; break;
-    case PolicyKind::kAdaptive: policy = "adaptive"; break;
-  }
+  const std::string policy = c.policy.resolved_slug();
   const char* eviction = c.mem.eviction == EvictionKind::kLru   ? "lru"
                          : c.mem.eviction == EvictionKind::kLfu ? "lfu"
                                                                 : "tree";

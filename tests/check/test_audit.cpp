@@ -62,8 +62,12 @@ class AuditTest : public ::testing::Test {
     s.stats = &stats_;
     s.policy = policy_.get();
     s.policy_cfg = &policy_cfg_;
-    s.policy_ctx = PolicyContext{device_->used_pages(), device_->capacity_pages(),
-                                 device_->ever_full(), true};
+    PolicyFeatures f;
+    f.resident_pages = device_->used_pages();
+    f.capacity_pages = device_->capacity_pages();
+    f.oversubscribed = device_->ever_full();
+    f.overcommitted = true;
+    s.policy_features = f;
     s.historic_counters = true;
     return s;
   }

@@ -1,0 +1,146 @@
+// Tournament harness tests: deterministic artifacts for any worker count,
+// a guaranteed oversubscribed thrash scenario, a full leaderboard over every
+// registered policy, and the headline property — an online-adaptive policy
+// beating the static threshold scheme where adaptation matters.
+#include "check/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "policy/policy_registry.hpp"
+
+namespace uvmsim {
+namespace {
+
+TournamentOptions small_options(unsigned jobs) {
+  TournamentOptions o;
+  o.seed = 5;
+  o.scenarios = 4;
+  o.jobs = jobs;
+  return o;
+}
+
+std::string csv_of(const TournamentResult& r) {
+  std::ostringstream os;
+  write_tournament_csv(os, r);
+  return os.str();
+}
+
+std::string json_of(const TournamentResult& r) {
+  std::ostringstream os;
+  write_tournament_json(os, r);
+  return os.str();
+}
+
+TEST(Tournament, CorpusAlwaysContainsOversubscribedThrash) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto scenarios = build_tournament_scenarios(seed, 4);
+    ASSERT_EQ(scenarios.size(), 4u);
+    EXPECT_TRUE(std::any_of(scenarios.begin(), scenarios.end(),
+                            [](const TournamentScenario& s) { return s.thrash; }))
+        << "seed " << seed;
+    for (const TournamentScenario& s : scenarios) {
+      if (!s.thrash) continue;
+      EXPECT_NE(s.label.find("thrash"), std::string::npos);
+      EXPECT_GT(s.config.mem.oversubscription, 1.0);
+    }
+  }
+}
+
+TEST(Tournament, ScenarioCorpusIsDeterministic) {
+  const auto a = build_tournament_scenarios(9, 5);
+  const auto b = build_tournament_scenarios(9, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].thrash, b[i].thrash);
+    EXPECT_EQ(a[i].trace->total_records(), b[i].trace->total_records());
+  }
+}
+
+TEST(Tournament, FullGridCoversEveryRegisteredPolicy) {
+  const TournamentResult r = run_tournament(small_options(2));
+  const std::vector<std::string> slugs = PolicyRegistry::instance().slugs();
+  ASSERT_GE(slugs.size(), 6u);
+  EXPECT_EQ(r.leaderboard.size(), slugs.size());
+  EXPECT_EQ(r.cells.size(), r.scenarios.size() * slugs.size());
+  for (const TournamentCell& c : r.cells) {
+    EXPECT_TRUE(c.ok) << c.policy << " scenario " << c.scenario << ": " << c.error;
+  }
+  // Every slug appears exactly once on the leaderboard.
+  std::vector<std::string> seen;
+  for (const TournamentRow& row : r.leaderboard) seen.push_back(row.policy);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, slugs);
+}
+
+TEST(Tournament, ArtifactsAreByteIdenticalAcrossJobCounts) {
+  const TournamentResult serial = run_tournament(small_options(1));
+  const TournamentResult parallel = run_tournament(small_options(2));
+  EXPECT_EQ(csv_of(serial), csv_of(parallel));
+  EXPECT_EQ(json_of(serial), json_of(parallel));
+}
+
+TEST(Tournament, PolicySubsetAndUnknownSlug) {
+  TournamentOptions o = small_options(2);
+  o.scenarios = 2;
+  o.policies = {"baseline", "adaptive", "tuned"};
+  const TournamentResult r = run_tournament(o);
+  EXPECT_EQ(r.leaderboard.size(), 3u);
+  EXPECT_EQ(r.cells.size(), 6u);
+
+  o.policies = {"no-such-policy"};
+  EXPECT_THROW((void)run_tournament(o), std::invalid_argument);
+}
+
+TEST(Tournament, LeaderboardRanksByFaultCost) {
+  const TournamentResult r = run_tournament(small_options(2));
+  for (std::size_t i = 1; i < r.leaderboard.size(); ++i) {
+    EXPECT_LE(r.leaderboard[i - 1].fault_cost, r.leaderboard[i].fault_cost);
+  }
+  std::size_t wins = 0;
+  for (const TournamentRow& row : r.leaderboard) wins += row.wins;
+  EXPECT_GE(wins, r.scenarios.size());  // ties can award a scenario twice
+}
+
+// The acceptance property: on an oversubscribed thrash scenario at least one
+// online-adaptive policy ("tuned" / "learned") undercuts the always-on
+// static threshold scheme on fault cost.
+TEST(Tournament, AdaptivePolicyBeatsStaticThresholdOnThrash) {
+  TournamentOptions o;
+  o.seed = 1;
+  o.scenarios = 8;
+  o.jobs = 2;
+  const TournamentResult r = run_tournament(o);
+  const std::size_t per_scenario = r.leaderboard.size();
+  auto cell_for = [&](std::size_t si, const std::string& slug) -> const TournamentCell* {
+    for (std::size_t pi = 0; pi < per_scenario; ++pi) {
+      const TournamentCell& c = r.cells[si * per_scenario + pi];
+      if (c.policy == slug) return &c;
+    }
+    return nullptr;
+  };
+  bool any_thrash = false;
+  bool beaten = false;
+  for (std::size_t si = 0; si < r.scenarios.size(); ++si) {
+    if (!r.scenarios[si].thrash) continue;
+    any_thrash = true;
+    const TournamentCell* st = cell_for(si, "always");
+    for (const char* slug : {"tuned", "learned"}) {
+      const TournamentCell* ad = cell_for(si, slug);
+      ASSERT_NE(ad, nullptr);
+      ASSERT_NE(st, nullptr);
+      if (ad->ok && st->ok && ad->fault_cost < st->fault_cost) beaten = true;
+    }
+  }
+  ASSERT_TRUE(any_thrash);
+  EXPECT_TRUE(beaten) << "no online-adaptive policy beat 'always' on any thrash scenario";
+}
+
+}  // namespace
+}  // namespace uvmsim

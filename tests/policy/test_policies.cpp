@@ -5,84 +5,110 @@
 namespace uvmsim {
 namespace {
 
-const PolicyContext kEmpty{0, 1000, false, false};
-const PolicyContext kOversub{1000, 1000, true, true};
+/// Build the feature snapshot a consultation would see.
+PolicyFeatures feat(AccessType type, std::uint32_t post, std::uint32_t trips,
+                    std::uint64_t resident, std::uint64_t capacity, bool oversub,
+                    bool overcommit) {
+  PolicyFeatures f;
+  f.type = type;
+  f.post_count = post;
+  f.round_trips = trips;
+  f.resident_pages = resident;
+  f.capacity_pages = capacity;
+  f.oversubscribed = oversub;
+  f.overcommitted = overcommit;
+  return f;
+}
+
+PolicyFeatures empty(AccessType type, std::uint32_t post, std::uint32_t trips = 0) {
+  return feat(type, post, trips, 0, 1000, false, false);
+}
+
+PolicyFeatures oversub(AccessType type, std::uint32_t post, std::uint32_t trips = 0) {
+  return feat(type, post, trips, 1000, 1000, true, true);
+}
 
 TEST(FirstTouch, AlwaysMigrates) {
   FirstTouchPolicy p;
-  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kMigrate);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kOversub), MigrationDecision::kMigrate);
-  EXPECT_EQ(p.effective_threshold({1, 0}, kEmpty), 1u);
-  EXPECT_EQ(p.name(), "first-touch");
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 1)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(oversub(AccessType::kWrite, 1)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.effective_threshold(empty(AccessType::kRead, 1)), 1u);
+  EXPECT_TRUE(p.read_would_migrate(empty(AccessType::kRead, 1)));
+  EXPECT_EQ(p.name(), "baseline");
 }
 
 TEST(StaticAlways, ReadsBelowThresholdStayRemote) {
   StaticThresholdPolicy p(8, true, false);
-  EXPECT_EQ(p.decide(AccessType::kRead, {7, 0}, kEmpty), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kRead, {8, 0}, kEmpty), MigrationDecision::kMigrate);
-  EXPECT_EQ(p.decide(AccessType::kRead, {9, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 7)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 8)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 9)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.name(), "always");
 }
 
 TEST(StaticAlways, WritesMigrateImmediately) {
   StaticThresholdPolicy p(8, true, false);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(empty(AccessType::kWrite, 1)), MigrationDecision::kMigrate);
+  EXPECT_FALSE(p.read_would_migrate(empty(AccessType::kWrite, 1)));
 }
 
 TEST(StaticAlways, WriteMigrationCanBeDisabled) {
   StaticThresholdPolicy p(8, false, false);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kEmpty), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {8, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(empty(AccessType::kWrite, 1)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(empty(AccessType::kWrite, 8)), MigrationDecision::kMigrate);
 }
 
 TEST(StaticAlways, ActiveRegardlessOfOversubscription) {
   StaticThresholdPolicy p(8, true, false);
-  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kOversub), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.effective_threshold({1, 0}, kEmpty), 8u);
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 1)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 1)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.effective_threshold(empty(AccessType::kRead, 1)), 8u);
 }
 
 TEST(StaticOversub, FirstTouchUntilOversubscription) {
   StaticThresholdPolicy p(8, true, true);
-  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kMigrate);
-  EXPECT_EQ(p.effective_threshold({1, 0}, kEmpty), 1u);
-  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kOversub), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kRead, {8, 0}, kOversub), MigrationDecision::kMigrate);
-  EXPECT_EQ(p.effective_threshold({1, 0}, kOversub), 8u);
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 1)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.effective_threshold(empty(AccessType::kRead, 1)), 1u);
+  EXPECT_TRUE(p.read_would_migrate(empty(AccessType::kRead, 1)));
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 1)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 8)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.effective_threshold(oversub(AccessType::kRead, 1)), 8u);
+  EXPECT_EQ(p.name(), "oversub");
 }
 
 TEST(Adaptive, FirstTouchOnEmptyDevice) {
   AdaptivePolicy p(8, 8, false);
-  EXPECT_EQ(p.decide(AccessType::kRead, {1, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(empty(AccessType::kRead, 1)), MigrationDecision::kMigrate);
 }
 
 TEST(Adaptive, DelayedNearCapacity) {
   AdaptivePolicy p(8, 8, false);
-  const PolicyContext nearly{999, 1000, false, false};
-  EXPECT_EQ(p.effective_threshold({0, 0}, nearly), 8u);
-  EXPECT_EQ(p.decide(AccessType::kRead, {7, 0}, nearly), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kRead, {8, 0}, nearly), MigrationDecision::kMigrate);
+  const PolicyFeatures nearly7 = feat(AccessType::kRead, 7, 0, 999, 1000, false, false);
+  const PolicyFeatures nearly8 = feat(AccessType::kRead, 8, 0, 999, 1000, false, false);
+  EXPECT_EQ(p.effective_threshold(nearly7), 8u);
+  EXPECT_EQ(p.decide(nearly7), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(nearly8), MigrationDecision::kMigrate);
 }
 
 TEST(Adaptive, OversubUsesRoundTrips) {
   AdaptivePolicy p(8, 8, false);
   // r=0: td = 64. r=1: td = 128.
-  EXPECT_EQ(p.decide(AccessType::kRead, {63, 0}, kOversub), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kRead, {64, 0}, kOversub), MigrationDecision::kMigrate);
-  EXPECT_EQ(p.decide(AccessType::kRead, {64, 1}, kOversub), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kRead, {128, 1}, kOversub), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 63, 0)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 64, 0)), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 64, 1)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 128, 1)), MigrationDecision::kMigrate);
 }
 
 TEST(Adaptive, WritesFollowDynamicThresholdByDefault) {
   // The adaptive scheme subsumes writes so highly-thrashed write pages can
   // stay host-pinned (zero-copy writes).
   AdaptivePolicy p(8, 8, false);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kOversub), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {64, 0}, kOversub), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(oversub(AccessType::kWrite, 1)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(oversub(AccessType::kWrite, 64)), MigrationDecision::kMigrate);
 }
 
 TEST(Adaptive, VoltaWriteSemanticsOptIn) {
   AdaptivePolicy p(8, 8, true);
-  EXPECT_EQ(p.decide(AccessType::kWrite, {1, 0}, kOversub), MigrationDecision::kMigrate);
+  EXPECT_EQ(p.decide(oversub(AccessType::kWrite, 1)), MigrationDecision::kMigrate);
 }
 
 TEST(Adaptive, BranchSelectsOnOvercommitmentNotEviction) {
@@ -90,26 +116,26 @@ TEST(Adaptive, BranchSelectsOnOvercommitmentNotEviction) {
   // driver at allocation time), not by the first-eviction event that gates
   // the Oversub static scheme.
   AdaptivePolicy p(8, 8, false);
-  const PolicyContext overcommitted_only{0, 1000, false, true};
-  EXPECT_EQ(p.effective_threshold({0, 0}, overcommitted_only), 64u);
-  const PolicyContext evicted_but_fitting{1000, 1000, true, false};
-  EXPECT_EQ(p.effective_threshold({0, 0}, evicted_but_fitting), 9u);
+  const PolicyFeatures overcommitted_only = feat(AccessType::kRead, 0, 0, 0, 1000, false, true);
+  EXPECT_EQ(p.effective_threshold(overcommitted_only), 64u);
+  const PolicyFeatures evicted_but_fitting =
+      feat(AccessType::kRead, 0, 0, 1000, 1000, true, false);
+  EXPECT_EQ(p.effective_threshold(evicted_but_fitting), 9u);
 }
 
 TEST(Adaptive, HugePenaltyPinsEverything) {
   AdaptivePolicy p(8, 1048576, false);
-  EXPECT_EQ(p.decide(AccessType::kRead, {1000000, 0}, kOversub),
-            MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p.decide(oversub(AccessType::kRead, 1000000)), MigrationDecision::kRemoteAccess);
 }
 
 TEST(Factory, BuildsEachKind) {
   PolicyConfig cfg;
   cfg.policy = PolicyKind::kFirstTouch;
-  EXPECT_EQ(make_policy(cfg)->name(), "first-touch");
+  EXPECT_EQ(make_policy(cfg)->name(), "baseline");
   cfg.policy = PolicyKind::kStaticAlways;
-  EXPECT_EQ(make_policy(cfg)->name(), "static-always");
+  EXPECT_EQ(make_policy(cfg)->name(), "always");
   cfg.policy = PolicyKind::kStaticOversub;
-  EXPECT_EQ(make_policy(cfg)->name(), "static-oversub");
+  EXPECT_EQ(make_policy(cfg)->name(), "oversub");
   cfg.policy = PolicyKind::kAdaptive;
   EXPECT_EQ(make_policy(cfg)->name(), "adaptive");
 }
@@ -119,8 +145,23 @@ TEST(Factory, ForwardsParameters) {
   cfg.policy = PolicyKind::kStaticAlways;
   cfg.static_threshold = 16;
   auto p = make_policy(cfg);
-  EXPECT_EQ(p->decide(AccessType::kRead, {15, 0}, kEmpty), MigrationDecision::kRemoteAccess);
-  EXPECT_EQ(p->decide(AccessType::kRead, {16, 0}, kEmpty), MigrationDecision::kMigrate);
+  EXPECT_EQ(p->decide(empty(AccessType::kRead, 15)), MigrationDecision::kRemoteAccess);
+  EXPECT_EQ(p->decide(empty(AccessType::kRead, 16)), MigrationDecision::kMigrate);
+}
+
+TEST(Features, DerivedRatiosAndRates) {
+  PolicyFeatures f;
+  f.resident_pages = 250;
+  f.capacity_pages = 1000;
+  EXPECT_DOUBLE_EQ(f.occupancy(), 0.25);
+  f.capacity_pages = 0;
+  EXPECT_DOUBLE_EQ(f.occupancy(), 0.0);
+  f.window_faults = 5;
+  f.prev_window_faults = 7;
+  EXPECT_EQ(f.fault_arrival_rate(), 12u);
+  f.window_evictions = 2;
+  f.prev_window_evictions = 3;
+  EXPECT_EQ(f.eviction_pressure(), 5u);
 }
 
 }  // namespace

@@ -98,21 +98,21 @@ TEST(PolicyProperties, DecisionMatchesEffectiveThreshold) {
     pc.adaptive_write_migrates = rng.chance(0.5);
     const auto policy = make_policy(pc);
 
-    PolicyContext ctx;
-    ctx.capacity_pages = rng.between(1, 1u << 16);
-    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
-    ctx.oversubscribed = rng.chance(0.5);
-    ctx.overcommitted = rng.chance(0.5);
-    CounterSnapshot c;
+    PolicyFeatures f;
+    f.type = AccessType::kRead;
+    f.capacity_pages = rng.between(1, 1u << 16);
+    f.resident_pages = rng.below(f.capacity_pages + 1);
+    f.oversubscribed = rng.chance(0.5);
+    f.overcommitted = rng.chance(0.5);
     // post_count >= 1 always holds in the driver: the snapshot is taken
     // after the access that triggered the consultation was counted.
-    c.post_count = static_cast<std::uint32_t>(rng.between(1, 100));
-    c.round_trips = static_cast<std::uint32_t>(rng.below(20));
+    f.post_count = static_cast<std::uint32_t>(rng.between(1, 100));
+    f.round_trips = static_cast<std::uint32_t>(rng.below(20));
 
-    const std::uint64_t td = policy->effective_threshold(c, ctx);
-    const MigrationDecision d = policy->decide(AccessType::kRead, c, ctx);
-    ASSERT_EQ(d == MigrationDecision::kMigrate, c.post_count >= td)
-        << policy->name() << " post=" << c.post_count << " td=" << td;
+    const std::uint64_t td = policy->effective_threshold(f);
+    const MigrationDecision d = policy->decide(f);
+    ASSERT_EQ(d == MigrationDecision::kMigrate, f.post_count >= td)
+        << policy->name() << " post=" << f.post_count << " td=" << td;
   }
 }
 
@@ -128,17 +128,18 @@ TEST(PolicyProperties, DecisionMonotoneInPostCount) {
     pc.migration_penalty = kPenalties[rng.below(std::size(kPenalties))];
     const auto policy = make_policy(pc);
 
-    PolicyContext ctx;
-    ctx.capacity_pages = rng.between(1, 1u << 16);
-    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
-    ctx.oversubscribed = rng.chance(0.5);
-    ctx.overcommitted = rng.chance(0.5);
-    CounterSnapshot lo, hi;
-    lo.round_trips = hi.round_trips = static_cast<std::uint32_t>(rng.below(20));
+    PolicyFeatures lo;
+    lo.type = AccessType::kRead;
+    lo.capacity_pages = rng.between(1, 1u << 16);
+    lo.resident_pages = rng.below(lo.capacity_pages + 1);
+    lo.oversubscribed = rng.chance(0.5);
+    lo.overcommitted = rng.chance(0.5);
+    lo.round_trips = static_cast<std::uint32_t>(rng.below(20));
     lo.post_count = static_cast<std::uint32_t>(rng.below(100));
+    PolicyFeatures hi = lo;
     hi.post_count = lo.post_count + static_cast<std::uint32_t>(rng.below(100));
-    if (policy->decide(AccessType::kRead, lo, ctx) == MigrationDecision::kMigrate) {
-      ASSERT_EQ(policy->decide(AccessType::kRead, hi, ctx), MigrationDecision::kMigrate)
+    if (policy->decide(lo) == MigrationDecision::kMigrate) {
+      ASSERT_EQ(policy->decide(hi), MigrationDecision::kMigrate)
           << policy->name() << " regressed from migrate at post=" << lo.post_count
           << " to remote at post=" << hi.post_count;
     }
@@ -154,12 +155,12 @@ TEST(PolicyProperties, StaticWriteAlwaysMigrates) {
   for (int i = 0; i < 10000; ++i) {
     StaticThresholdPolicy policy(kThresholds[rng.below(std::size(kThresholds))],
                                  /*write_migrates=*/true, rng.chance(0.5));
-    PolicyContext ctx;
-    ctx.capacity_pages = rng.between(1, 1u << 16);
-    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
-    ctx.oversubscribed = rng.chance(0.5);
-    CounterSnapshot c;  // post_count 0: frequency alone would say remote
-    ASSERT_EQ(policy.decide(AccessType::kWrite, c, ctx), MigrationDecision::kMigrate);
+    PolicyFeatures f;  // post_count 0: frequency alone would say remote
+    f.type = AccessType::kWrite;
+    f.capacity_pages = rng.between(1, 1u << 16);
+    f.resident_pages = rng.below(f.capacity_pages + 1);
+    f.oversubscribed = rng.chance(0.5);
+    ASSERT_EQ(policy.decide(f), MigrationDecision::kMigrate);
   }
 }
 
@@ -170,14 +171,13 @@ TEST(PolicyProperties, OversubGateIsFirstTouchBeforeFull) {
   for (int i = 0; i < 10000; ++i) {
     StaticThresholdPolicy policy(kThresholds[rng.below(std::size(kThresholds))],
                                  rng.chance(0.5), /*gate_on_oversub=*/true);
-    PolicyContext ctx;
-    ctx.capacity_pages = rng.between(1, 1u << 16);
-    ctx.resident_pages = rng.below(ctx.capacity_pages + 1);
-    ctx.oversubscribed = false;
-    CounterSnapshot c;
-    c.post_count = static_cast<std::uint32_t>(rng.below(100));
-    const auto type = rng.chance(0.5) ? AccessType::kWrite : AccessType::kRead;
-    ASSERT_EQ(policy.decide(type, c, ctx), MigrationDecision::kMigrate);
+    PolicyFeatures f;
+    f.capacity_pages = rng.between(1, 1u << 16);
+    f.resident_pages = rng.below(f.capacity_pages + 1);
+    f.oversubscribed = false;
+    f.post_count = static_cast<std::uint32_t>(rng.below(100));
+    f.type = rng.chance(0.5) ? AccessType::kWrite : AccessType::kRead;
+    ASSERT_EQ(policy.decide(f), MigrationDecision::kMigrate);
   }
 }
 

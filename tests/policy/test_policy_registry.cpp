@@ -1,0 +1,159 @@
+// Registry round-trip tests: every registered slug constructs a policy whose
+// name() matches, user-supplied names resolve through apply_policy_name with
+// paper-enum compatibility, and unknown slugs fail loudly.
+#include "policy/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/config_parse.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(PolicyRegistry, EverySlugConstructsAndNameMatches) {
+  const std::vector<std::string> slugs = PolicyRegistry::instance().slugs();
+  ASSERT_GE(slugs.size(), 6u);  // 4 paper schemes + tuned + learned
+  PolicyConfig cfg;
+  for (const std::string& slug : slugs) {
+    ASSERT_TRUE(apply_policy_name(cfg, slug)) << slug;
+    const std::unique_ptr<MigrationPolicy> p = PolicyRegistry::instance().make(cfg);
+    ASSERT_NE(p, nullptr) << slug;
+    EXPECT_EQ(p->name(), slug);
+    EXPECT_EQ(cfg.resolved_slug(), slug);
+  }
+}
+
+TEST(PolicyRegistry, SlugsAreSortedAndUnique) {
+  const std::vector<std::string> slugs = PolicyRegistry::instance().slugs();
+  EXPECT_TRUE(std::is_sorted(slugs.begin(), slugs.end()));
+  EXPECT_EQ(std::adjacent_find(slugs.begin(), slugs.end()), slugs.end());
+}
+
+TEST(PolicyRegistry, PaperNamesResolveToEnumAndClearSlug) {
+  PolicyConfig cfg;
+  cfg.slug = "learned";  // must be cleared by a paper-name hit
+  ASSERT_TRUE(apply_policy_name(cfg, "adaptive"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kAdaptive);
+  EXPECT_TRUE(cfg.slug.empty());
+  ASSERT_TRUE(apply_policy_name(cfg, "baseline"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kFirstTouch);
+  ASSERT_TRUE(apply_policy_name(cfg, "always"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kStaticAlways);
+  ASSERT_TRUE(apply_policy_name(cfg, "oversub"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kStaticOversub);
+}
+
+TEST(PolicyRegistry, HistoricalAliasesStillResolve) {
+  PolicyConfig cfg;
+  ASSERT_TRUE(apply_policy_name(cfg, "first-touch"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kFirstTouch);
+  ASSERT_TRUE(apply_policy_name(cfg, "disabled"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kFirstTouch);
+  ASSERT_TRUE(apply_policy_name(cfg, "ADAPTIVE"));  // case-insensitive
+  EXPECT_EQ(cfg.policy, PolicyKind::kAdaptive);
+}
+
+TEST(PolicyRegistry, RegistrySlugsSetSlugField) {
+  PolicyConfig cfg;
+  ASSERT_TRUE(apply_policy_name(cfg, "tuned"));
+  EXPECT_EQ(cfg.slug, "tuned");
+  EXPECT_EQ(cfg.resolved_slug(), "tuned");
+  ASSERT_TRUE(apply_policy_name(cfg, "learned"));
+  EXPECT_EQ(cfg.slug, "learned");
+}
+
+TEST(PolicyRegistry, UnknownNameLeavesConfigUntouched) {
+  PolicyConfig cfg;
+  cfg.policy = PolicyKind::kAdaptive;
+  EXPECT_FALSE(apply_policy_name(cfg, "no-such-policy"));
+  EXPECT_EQ(cfg.policy, PolicyKind::kAdaptive);
+  EXPECT_TRUE(cfg.slug.empty());
+}
+
+TEST(PolicyRegistry, MakeThrowsListingRegisteredSlugs) {
+  PolicyConfig cfg;
+  cfg.slug = "no-such-policy";
+  try {
+    (void)PolicyRegistry::instance().make(cfg);
+    FAIL() << "make() accepted an unregistered slug";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(what.find("adaptive"), std::string::npos);
+  }
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationThrows) {
+  PolicyRegistry registry;
+  registry.add({"dup", "first", [](const PolicyConfig&) {
+                  return std::make_unique<FirstTouchPolicy>();
+                }});
+  EXPECT_THROW(registry.add({"dup", "second",
+                             [](const PolicyConfig&) {
+                               return std::make_unique<FirstTouchPolicy>();
+                             }}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"", "empty slug",
+                             [](const PolicyConfig&) {
+                               return std::make_unique<FirstTouchPolicy>();
+                             }}),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, RegisteredNamesListsEverySlug) {
+  const std::string names = registered_policy_names();
+  for (const std::string& slug : PolicyRegistry::instance().slugs()) {
+    EXPECT_NE(names.find(slug), std::string::npos) << slug;
+  }
+}
+
+TEST(PolicyRegistry, HistoricCountersSemantics) {
+  PolicyConfig cfg;
+  ASSERT_TRUE(apply_policy_name(cfg, "baseline"));
+  EXPECT_FALSE(cfg.historic_counters());
+  ASSERT_TRUE(apply_policy_name(cfg, "always"));
+  EXPECT_FALSE(cfg.historic_counters());
+  ASSERT_TRUE(apply_policy_name(cfg, "oversub"));
+  EXPECT_TRUE(cfg.historic_counters());
+  ASSERT_TRUE(apply_policy_name(cfg, "adaptive"));
+  EXPECT_TRUE(cfg.historic_counters());
+  // Registry policies default to historic counters (round-trip aware).
+  ASSERT_TRUE(apply_policy_name(cfg, "tuned"));
+  EXPECT_TRUE(cfg.historic_counters());
+  ASSERT_TRUE(apply_policy_name(cfg, "learned"));
+  EXPECT_TRUE(cfg.historic_counters());
+}
+
+TEST(PolicyRegistry, ConfigStringRoundTripsRegistrySlug) {
+  SimConfig cfg;
+  ASSERT_TRUE(apply_policy_name(cfg.policy, "learned"));
+  const std::string text = to_config_string(cfg);
+  EXPECT_NE(text.find("policy = learned"), std::string::npos);
+  SimConfig parsed;
+  std::istringstream is(text);
+  load_config_stream(parsed, is);
+  EXPECT_EQ(parsed.policy.resolved_slug(), "learned");
+  EXPECT_TRUE(parsed.policy.historic_counters());
+}
+
+TEST(PolicyRegistry, ConfigParseRejectsUnknownPolicy) {
+  SimConfig cfg;
+  try {
+    apply_config_setting(cfg, "policy=no-such-policy");
+    FAIL() << "parser accepted an unregistered policy";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(what.find("adaptive"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

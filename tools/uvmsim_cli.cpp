@@ -28,7 +28,8 @@ void usage() {
   std::printf(
       "usage: uvmsim [options]\n"
       "  --workload NAME    backprop|fdtd|hotspot|srad|bfs|nw|ra|sssp (default sssp)\n"
-      "  --policy NAME      baseline|always|oversub|adaptive (default baseline)\n"
+      "  --policy NAME      any registered policy (default baseline); see --policies\n"
+      "  --policies         list registered migration policies and exit\n"
       "  --eviction NAME    lru|lfu|tree (default: lru for baseline, lfu otherwise)\n"
       "  --prefetcher NAME  tree|sequential|random|none (default tree)\n"
       "  --oversub F        working-set/capacity factor; 0 = fits (default 0)\n"
@@ -58,14 +59,6 @@ void usage() {
       "  --classify         print the per-allocation hot/cold classification\n"
       "  --l2               enable the L2 cache model\n"
       "  --list             list available workloads\n");
-}
-
-std::optional<PolicyKind> parse_policy(const std::string& s) {
-  if (s == "baseline" || s == "disabled" || s == "first-touch") return PolicyKind::kFirstTouch;
-  if (s == "always") return PolicyKind::kStaticAlways;
-  if (s == "oversub") return PolicyKind::kStaticOversub;
-  if (s == "adaptive") return PolicyKind::kAdaptive;
-  return std::nullopt;
 }
 
 std::optional<PrefetcherKind> parse_prefetcher(const std::string& s) {
@@ -140,12 +133,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--workload" || arg == "-w") {
       workload = next();
     } else if (arg == "--policy") {
-      const auto p = parse_policy(next());
-      if (!p) {
-        std::fprintf(stderr, "unknown policy\n");
+      const char* v = next();
+      if (!apply_policy_name(cfg.policy, v)) {
+        std::fprintf(stderr, "unknown policy '%s' (registered: %s)\n", v,
+                     registered_policy_names().c_str());
         return 2;
       }
-      cfg.policy.policy = *p;
+    } else if (arg == "--policies") {
+      for (const PolicyInfo& info : PolicyRegistry::instance().entries()) {
+        std::printf("%-10s %s\n", info.slug.c_str(), info.summary.c_str());
+      }
+      return 0;
     } else if (arg == "--eviction") {
       const std::string v = next();
       if (v != "lru" && v != "lfu" && v != "tree") {
@@ -237,7 +235,7 @@ int main(int argc, char** argv) {
   }
 
   // Paper convention: Baseline runs stock LRU; counter-based schemes LFU.
-  if (!eviction_set && cfg.policy.policy != PolicyKind::kFirstTouch) {
+  if (!eviction_set && cfg.policy.resolved_slug() != "baseline") {
     cfg.mem.eviction = EvictionKind::kLfu;
   }
 
@@ -336,7 +334,9 @@ int main(int argc, char** argv) {
                 workload.c_str(), params.scale,
                 static_cast<double>(r.footprint_bytes) / (1 << 20),
                 static_cast<double>(r.capacity_bytes) / (1 << 20));
-    std::printf("policy:     %s\n", to_string(cfg.policy.policy).c_str());
+    std::printf("policy:     %s\n", cfg.policy.slug.empty()
+                                        ? to_string(cfg.policy.policy).c_str()
+                                        : cfg.policy.slug.c_str());
     std::printf("kernel:     %.3f ms (%llu cycles over %zu launches)\n",
                 r.kernel_ms(cfg.gpu.core_clock_ghz),
                 static_cast<unsigned long long>(r.stats.kernel_cycles), r.kernels.size());

@@ -15,6 +15,7 @@
 
 #include "check/fuzz.hpp"
 #include "flag_parse.hpp"
+#include "policy/policy_registry.hpp"
 
 namespace {
 
@@ -28,6 +29,9 @@ constexpr const char* kUsage =
     "  --seed N            master seed (default 1)\n"
     "  --iters N           fuzz iterations (default 100)\n"
     "  --jobs N            worker threads (default: hardware concurrency)\n"
+    "  --policy SLUG       force every generated case onto one registered\n"
+    "                      policy (non-paper policies run the oracle in\n"
+    "                      skip-decision mode)\n"
     "  --inject FAULT      corrupt the oracle: none | flip-residency |\n"
     "                      skip-halving | round-trip-off-by-one (default none)\n"
     "  --corpus-out DIR    dump shrunk repros into DIR\n"
@@ -84,6 +88,15 @@ int main(int argc, char** argv) {
         return usage_error("bad --iters", argv[i]);
     } else if (std::strcmp(a, "--jobs") == 0) {
       if (!tools::parse_unsigned(next(a), opts.jobs)) return usage_error("bad --jobs", argv[i]);
+    } else if (std::strcmp(a, "--policy") == 0) {
+      const char* v = next(a);
+      PolicyConfig probe;
+      if (!apply_policy_name(probe, v)) {
+        std::fprintf(stderr, "uvmsim_fuzz: unknown policy '%s' (registered: %s)\n", v,
+                     registered_policy_names().c_str());
+        return 2;
+      }
+      opts.policy_slug = v;
     } else if (std::strcmp(a, "--max-findings") == 0) {
       if (!tools::parse_u64(next(a), opts.max_findings))
         return usage_error("bad --max-findings", argv[i]);

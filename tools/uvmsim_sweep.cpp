@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
       const RunRequest& req = grid[i];
       char name[256];
       std::snprintf(name, sizeof(name), "%03zu_%s_%s_%.4g.csv", i,
-                    req.workload.c_str(), policy_slug(req.config.policy.policy),
+                    req.workload.c_str(), req.config.policy.resolved_slug().c_str(),
                     req.oversub);
       std::ofstream mout(std::filesystem::path(metrics_dir) / name);
       if (!mout) {
