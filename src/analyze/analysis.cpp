@@ -1,0 +1,264 @@
+#include "analyze/analysis.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "analyze/rules.hpp"
+#include "obs/json.hpp"
+
+namespace uvmsim::analyze {
+
+std::vector<std::unique_ptr<Rule>> make_default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(make_layering_rule());
+  rules.push_back(make_determinism_rule());
+  rules.push_back(make_obs_purity_rule());
+  rules.push_back(make_check_coverage_rule());
+  rules.push_back(make_registry_hygiene_rule());
+  return rules;
+}
+
+namespace fs = std::filesystem;
+
+std::string Finding::fingerprint() const { return rule + "|" + file + "|" + message; }
+
+const SourceFile* Corpus::find(std::string_view path) const {
+  const auto it = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const SourceFile& f, std::string_view p) { return f.path < p; });
+  return it != files.end() && it->path == path ? &*it : nullptr;
+}
+
+const std::string* Corpus::extra(std::string_view path) const {
+  for (const auto& [p, text] : extra_files)
+    if (p == path) return &text;
+  return nullptr;
+}
+
+void Corpus::add_file(std::string path, std::string_view content) {
+  SourceFile f = lex_file(std::move(path), content);
+  const auto at = std::lower_bound(
+      files.begin(), files.end(), f.path,
+      [](const SourceFile& a, const std::string& p) { return a.path < p; });
+  files.insert(at, std::move(f));
+}
+
+namespace {
+
+[[nodiscard]] std::string read_whole_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+[[nodiscard]] bool analyzable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".def";
+}
+
+}  // namespace
+
+Corpus load_corpus(const std::string& root, const std::vector<std::string>& roots) {
+  const fs::path base(root);
+  if (!fs::is_directory(base / "src"))
+    throw std::runtime_error("'" + root + "' has no src/ — not a repo root");
+
+  Corpus corpus;
+  corpus.root = fs::absolute(base).lexically_normal().string();
+  for (const std::string& sub : roots) {
+    const fs::path dir = base / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) continue;
+      if (!analyzable(it->path())) continue;
+      const std::string rel = fs::relative(it->path(), base).generic_string();
+      corpus.files.push_back(lex_file(rel, read_whole_file(it->path())));
+    }
+  }
+  std::sort(corpus.files.begin(), corpus.files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+
+  // Non-C++ inputs cross-checked by rules (missing files stay absent — the
+  // rule that needs one reports that itself).
+  for (const char* extra : {"docs/POLICIES.md"}) {
+    const fs::path p = base / extra;
+    if (fs::is_regular_file(p)) corpus.extra_files.emplace_back(extra, read_whole_file(p));
+  }
+  return corpus;
+}
+
+bool AnalysisResult::clean() const noexcept {
+  return std::none_of(findings.begin(), findings.end(),
+                      [](const Finding& f) { return f.severity == Severity::kError; });
+}
+
+namespace {
+
+void sort_findings(std::vector<Finding>& v) {
+  std::sort(v.begin(), v.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+}
+
+/// Suppressions + hygiene: silence findings carrying a reasoned ALLOW on the
+/// same or previous line; report reason-less or unknown-rule ALLOWs.
+void apply_suppressions(const Corpus& corpus, const std::set<std::string>& known_rules,
+                        std::vector<Finding>& findings, AnalysisResult& result) {
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    const SourceFile* file = corpus.find(f.file);
+    bool suppressed = false;
+    if (file != nullptr) {
+      for (const Suppression& s : file->suppressions) {
+        if (s.rule == f.rule && !s.reason.empty() &&
+            (s.line == f.line || s.line == f.line - 1)) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (suppressed)
+      ++result.suppressed;
+    else
+      kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+
+  for (const SourceFile& file : corpus.files) {
+    for (const Suppression& s : file.suppressions) {
+      if (s.reason.empty()) {
+        findings.push_back(Finding{
+            "suppression", file.path, s.line,
+            "UVMSIM-ALLOW(" + s.rule + ") has no reason — every suppression must record why",
+            Severity::kError});
+      } else if (known_rules.count(s.rule) == 0) {
+        findings.push_back(Finding{
+            "suppression", file.path, s.line,
+            "UVMSIM-ALLOW names unknown rule '" + s.rule + "'", Severity::kError});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisResult run_analysis(const Corpus& corpus, const AnalysisOptions& opts) {
+  const std::vector<std::unique_ptr<Rule>> all = make_default_rules();
+
+  std::vector<const Rule*> selected;
+  if (opts.rules.empty()) {
+    for (const auto& r : all) selected.push_back(r.get());
+  } else {
+    for (const std::string& want : opts.rules) {
+      const auto it = std::find_if(all.begin(), all.end(),
+                                   [&](const auto& r) { return r->name() == want; });
+      if (it == all.end()) throw std::invalid_argument("unknown rule '" + want + "'");
+      selected.push_back(it->get());
+    }
+  }
+
+  std::set<std::string> known_rules;
+  for (const auto& r : all) known_rules.emplace(r->name());
+  known_rules.insert("suppression");
+
+  AnalysisResult result;
+  std::vector<Finding> findings;
+  for (const Rule* rule : selected) {
+    result.rules_run.emplace_back(rule->name());
+    rule->run(corpus, findings);
+  }
+  apply_suppressions(corpus, known_rules, findings, result);
+
+  const std::set<std::string> baseline(opts.baseline.begin(), opts.baseline.end());
+  for (Finding& f : findings) {
+    if (baseline.count(f.fingerprint()) != 0)
+      result.baselined.push_back(std::move(f));
+    else
+      result.findings.push_back(std::move(f));
+  }
+  sort_findings(result.findings);
+  sort_findings(result.baselined);
+  return result;
+}
+
+std::vector<std::string> load_baseline(std::istream& is) {
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  return out;
+}
+
+void write_baseline(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "# uvmsim-analyze baseline — one finding fingerprint per line\n"
+     << "# (rule|file|message; regenerate with uvmsim-analyze --write-baseline)\n";
+  std::vector<std::string> lines;
+  lines.reserve(findings.size());
+  for (const Finding& f : findings) lines.push_back(f.fingerprint());
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (const std::string& l : lines) os << l << "\n";
+}
+
+void write_text_report(std::ostream& os, const AnalysisResult& result) {
+  for (const Finding& f : result.findings) {
+    os << f.file << ":" << f.line << ": "
+       << (f.severity == Severity::kError ? "error" : "warning") << " [" << f.rule << "] "
+       << f.message << "\n";
+  }
+  os << "uvmsim-analyze: " << result.findings.size() << " finding"
+     << (result.findings.size() == 1 ? "" : "s");
+  if (result.suppressed != 0) os << ", " << result.suppressed << " suppressed";
+  if (!result.baselined.empty()) os << ", " << result.baselined.size() << " baselined";
+  os << " (rules:";
+  for (const std::string& r : result.rules_run) os << " " << r;
+  os << ")\n";
+}
+
+void write_json_report(std::ostream& os, const AnalysisResult& result) {
+  const auto write_finding_array = [&os](const std::vector<Finding>& v) {
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const Finding& f = v[i];
+      if (i != 0) os << ",";
+      os << "\n    {\"rule\": ";
+      obs::write_json_string(os, f.rule);
+      os << ", \"file\": ";
+      obs::write_json_string(os, f.file);
+      os << ", \"line\": " << f.line << ", \"severity\": "
+         << (f.severity == Severity::kError ? "\"error\"" : "\"warning\"")
+         << ", \"message\": ";
+      obs::write_json_string(os, f.message);
+      os << "}";
+    }
+    os << (v.empty() ? "]" : "\n  ]");
+  };
+
+  os << "{\n  \"version\": 1,\n  \"rules\": [";
+  for (std::size_t i = 0; i < result.rules_run.size(); ++i) {
+    if (i != 0) os << ", ";
+    obs::write_json_string(os, result.rules_run[i]);
+  }
+  os << "],\n  \"findings\": ";
+  write_finding_array(result.findings);
+  os << ",\n  \"baselined\": ";
+  write_finding_array(result.baselined);
+  os << ",\n  \"suppressed\": " << result.suppressed
+     << ",\n  \"clean\": " << (result.clean() ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace uvmsim::analyze

@@ -1,0 +1,113 @@
+// uvmsim-analyze core: the corpus model, the rule interface and the driver
+// that runs rules, applies inline suppressions and the checked-in baseline,
+// and renders text / stable-sorted JSON reports. See docs/ANALYSIS.md for
+// the rule catalog and the suppression / baseline workflow.
+//
+// Design constraints:
+//   * Library-first: tests construct corpora from in-memory snippets and run
+//     rules in-process; tools/uvmsim_analyze.cpp is a thin CLI.
+//   * Deterministic: output depends only on file contents — findings are
+//     stable-sorted, reports carry no timestamps — so CI can diff reports.
+//   * Self-contained: no libclang, no external processes.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/lexer.hpp"
+
+namespace uvmsim::analyze {
+
+enum class Severity {
+  kError,    ///< fails the run (exit 1)
+  kWarning,  ///< reported, never fails the run
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;  ///< repo-relative
+  int line = 0;
+  std::string message;
+  Severity severity = Severity::kError;
+
+  /// Baseline identity: deliberately excludes the line number so a finding
+  /// does not escape the baseline when unrelated edits shift it around.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Everything a rule may look at. `files` is sorted by path; `extra_files`
+/// carries non-C++ inputs some rules cross-check (docs/POLICIES.md).
+struct Corpus {
+  std::string root;  ///< absolute repo root ("" for in-memory corpora)
+  std::vector<SourceFile> files;
+  std::vector<std::pair<std::string, std::string>> extra_files;  ///< path -> raw text
+
+  [[nodiscard]] const SourceFile* find(std::string_view path) const;
+  [[nodiscard]] const std::string* extra(std::string_view path) const;
+
+  /// Lex `content` and insert it keeping `files` sorted by path.
+  void add_file(std::string path, std::string_view content);
+};
+
+/// Load every *.cpp / *.hpp / *.def under `roots` (repo-relative directories)
+/// plus the extra files rules need. Directories that do not exist are
+/// skipped; file order is path-sorted so analysis is independent of
+/// readdir() order. Throws std::runtime_error when `root` is not a repo
+/// (no src/ directory).
+[[nodiscard]] Corpus load_corpus(const std::string& root,
+                                 const std::vector<std::string>& roots = {
+                                     "src", "tools", "include", "bench", "examples", "tests"});
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  virtual void run(const Corpus& corpus, std::vector<Finding>& out) const = 0;
+};
+
+/// The five shipped rules: layering, determinism, obs-purity,
+/// check-coverage, registry-hygiene (docs/ANALYSIS.md).
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+struct AnalysisOptions {
+  /// Empty = every default rule. Unknown names throw std::invalid_argument.
+  std::vector<std::string> rules;
+  /// Baseline fingerprints (load_baseline). Matching findings are demoted to
+  /// `baselined` instead of `findings`.
+  std::vector<std::string> baseline;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;   ///< active: fail the run when any is kError
+  std::vector<Finding> baselined;  ///< matched the checked-in baseline
+  int suppressed = 0;              ///< silenced by a reasoned UVMSIM-ALLOW
+  std::vector<std::string> rules_run;
+
+  [[nodiscard]] bool clean() const noexcept;
+  /// 0 clean, 1 findings. (The CLI layers usage errors = 2 on top.)
+  [[nodiscard]] int exit_code() const noexcept { return clean() ? 0 : 1; }
+};
+
+/// Run `opts.rules` over the corpus. Suppression semantics: a finding is
+/// silenced by an `UVMSIM-ALLOW(<rule>): <reason>` comment on the same line
+/// or the line directly above, when the rule matches the finding's rule and the
+/// reason is non-empty. An ALLOW with an empty reason is itself reported
+/// (rule `suppression`), as is one naming an unknown rule.
+[[nodiscard]] AnalysisResult run_analysis(const Corpus& corpus, const AnalysisOptions& opts);
+
+// ---- Baseline I/O -------------------------------------------------------
+// One fingerprint per line; '#' comments and blank lines ignored. Written
+// sorted so the checked-in file diffs cleanly.
+[[nodiscard]] std::vector<std::string> load_baseline(std::istream& is);
+void write_baseline(std::ostream& os, const std::vector<Finding>& findings);
+
+// ---- Reporters ----------------------------------------------------------
+void write_text_report(std::ostream& os, const AnalysisResult& result);
+/// Stable-sorted, timestamp-free JSON (schema: docs/ANALYSIS.md).
+void write_json_report(std::ostream& os, const AnalysisResult& result);
+
+}  // namespace uvmsim::analyze

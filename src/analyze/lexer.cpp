@@ -1,0 +1,307 @@
+#include "analyze/lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace uvmsim::analyze {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators we keep as single tokens. Rules match on
+/// `::`, `->` and friends, so splitting them into single chars would force
+/// every matcher to re-assemble them. Longest-match-first.
+constexpr std::array<std::string_view, 21> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "##",
+};
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view src) : src_(src) { out_.path = std::move(path); }
+
+  SourceFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == '\\' && peek(1) == '\n') {  // line continuation
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void add(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void record_comment(std::string text, int line) {
+    parse_suppression(text, line);
+    out_.comments.push_back(Comment{std::move(text), line});
+  }
+
+  /// Recognize `UVMSIM-ALLOW(<rule>): <reason>` anywhere inside a comment.
+  /// The rule name must be a plain slug ([A-Za-z0-9_-]+) — prose that merely
+  /// *mentions* the syntax with a placeholder is not a suppression.
+  void parse_suppression(std::string_view text, int line) {
+    constexpr std::string_view kTag = "UVMSIM-ALLOW(";
+    const std::size_t at = text.find(kTag);
+    if (at == std::string_view::npos) return;
+    const std::size_t open = at + kTag.size();
+    const std::size_t close = text.find(')', open);
+    if (close == std::string_view::npos) return;
+    const std::string_view rule = text.substr(open, close - open);
+    if (rule.empty()) return;
+    for (const char c : rule) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' && c != '_') return;
+    }
+    Suppression s;
+    s.rule = std::string(rule);
+    s.line = line;
+    std::size_t rest = close + 1;
+    if (rest < text.size() && text[rest] == ':') ++rest;
+    while (rest < text.size() && std::isspace(static_cast<unsigned char>(text[rest])) != 0)
+      ++rest;
+    std::size_t end = text.size();
+    while (end > rest && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+    s.reason = std::string(text.substr(rest, end - rest));
+    out_.suppressions.push_back(std::move(s));
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {  // comment continues
+        text += '\n';
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      text += src_[pos_++];
+    }
+    record_comment(std::move(text), start_line);
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    record_comment(std::move(text), start_line);
+  }
+
+  /// A preprocessor line. `#include` becomes a structured record; the bodies
+  /// of every other directive are lexed into the normal token stream (a
+  /// banned call hidden in a macro body must still be visible to rules).
+  void directive() {
+    const int start_line = line_;
+    ++pos_;  // '#'
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) ++pos_;
+    std::string name;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) name += src_[pos_++];
+    at_line_start_ = false;
+    if (name != "include") {
+      add(TokenKind::kPunct, "#", start_line);
+      if (!name.empty()) add(TokenKind::kIdentifier, std::move(name), start_line);
+      return;  // rest of the line lexes normally
+    }
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) ++pos_;
+    if (pos_ >= src_.size()) return;
+    const char open = src_[pos_];
+    if (open != '"' && open != '<') return;  // computed include: ignore
+    const char close = open == '<' ? '>' : '"';
+    ++pos_;
+    std::string target;
+    while (pos_ < src_.size() && src_[pos_] != close && src_[pos_] != '\n')
+      target += src_[pos_++];
+    if (pos_ < src_.size() && src_[pos_] == close) ++pos_;
+    out_.includes.push_back(IncludeDirective{std::move(target), open == '<', start_line});
+  }
+
+  void string_literal() {
+    const int start_line = line_;
+    // Raw string? The caller dispatches on '"', so look back for R prefix —
+    // identifier() handles R"..." itself; this path is plain strings only.
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // unterminated: stop at EOL
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    add(TokenKind::kString, std::move(text), start_line);
+  }
+
+  /// Entered with pos_ on the opening quote (the R prefix, with any encoding
+  /// prefix, has already been consumed by identifier()).
+  void raw_string_literal() {
+    const int start_line = line_;
+    ++pos_;  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string terminator = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size() && src_.compare(pos_, terminator.size(), terminator) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    pos_ = std::min(pos_ + terminator.size(), src_.size());
+    add(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void char_literal() {
+    const int start_line = line_;
+    ++pos_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    add(TokenKind::kChar, std::move(text), start_line);
+  }
+
+  void identifier() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) text += src_[pos_++];
+    // Raw / encoded string literal prefixes glued to a quote.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR") {
+        raw_string_literal();  // pos_ sits on the opening quote
+        return;
+      }
+      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+        string_literal();  // prefix token dropped; content is what matters
+        return;
+      }
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      char_literal();
+      return;
+    }
+    add(TokenKind::kIdentifier, std::move(text), start_line);
+  }
+
+  void number() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() &&
+           (is_ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && !text.empty() &&
+             (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+              text.back() == 'P')))) {
+      text += src_[pos_++];
+    }
+    add(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void punct() {
+    for (const std::string_view p : kPuncts) {
+      if (src_.compare(pos_, p.size(), p) == 0) {
+        add(TokenKind::kPunct, std::string(p), line_);
+        pos_ += p.size();
+        return;
+      }
+    }
+    add(TokenKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  SourceFile out_;
+};
+
+}  // namespace
+
+bool SourceFile::has_token_text(std::string_view text) const {
+  return std::any_of(tokens.begin(), tokens.end(),
+                     [&](const Token& t) { return t.text == text; });
+}
+
+SourceFile lex_file(std::string path, std::string_view content) {
+  return Lexer(std::move(path), content).run();
+}
+
+}  // namespace uvmsim::analyze

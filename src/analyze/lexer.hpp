@@ -1,0 +1,74 @@
+// A lightweight C++ lexer for uvmsim-analyze (docs/ANALYSIS.md). It is NOT a
+// compiler front end: it produces a flat token stream that is exact about the
+// three things source-level rules care about —
+//   * comments and string/char literals never leak into the token stream
+//     (so `"rand()"` in a doc string can't trip the determinism rule),
+//   * preprocessor #include directives are extracted as structured records,
+//   * line numbers survive, including through backslash continuations and
+//     raw string literals,
+// and deliberately naive about everything else (no macro expansion, no name
+// lookup). Rules that need structure (class bodies, for-headers) walk the
+// token stream with small local pattern matchers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uvmsim::analyze {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the lexer does not distinguish)
+  kNumber,
+  kString,  ///< text excludes quotes; raw strings are decoded
+  kChar,
+  kPunct,  ///< one token per multi-char operator (::, ->, ...)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  ///< 1-based
+};
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string target;  ///< path between the delimiters
+  bool angled;         ///< <...> vs "..."
+  int line;
+};
+
+/// One comment, with `//` / `/* */` delimiters stripped.
+struct Comment {
+  std::string text;
+  int line;  ///< line the comment starts on
+};
+
+/// An inline `// UVMSIM-ALLOW(<rule>): <reason>` suppression parsed out of a
+/// comment. The reason may be empty — the analyzer reports that as its own
+/// finding, a suppression without a recorded justification is worse than the
+/// violation it hides.
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  int line;
+};
+
+/// The lexed form of one source file.
+struct SourceFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<Comment> comments;
+  std::vector<Suppression> suppressions;
+
+  [[nodiscard]] bool has_token_text(std::string_view text) const;
+};
+
+/// Lex `content` as the file `path`. Never throws on malformed input: an
+/// unterminated literal or comment simply runs to end of file — the analyzer
+/// must degrade gracefully on code the real compiler would reject.
+[[nodiscard]] SourceFile lex_file(std::string path, std::string_view content);
+
+}  // namespace uvmsim::analyze

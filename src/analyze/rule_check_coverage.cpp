@@ -1,0 +1,56 @@
+// Rule `check-coverage`: simulation code fails through UVM_CHECK
+// (check/check.hpp), never through bare assert()/abort(). UVM_CHECK fires in
+// every build type, carries a formatted message into UvmCheckError, and the
+// differential harnesses catch it as a structured failure — a bare assert
+// vanishes in NDEBUG builds and an abort() kills the fuzzer without a repro.
+// src/check itself is exempt: it implements the macro and the harnesses that
+// intentionally die.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.hpp"
+#include "analyze/rules.hpp"
+#include "analyze/rules_common.hpp"
+
+namespace uvmsim::analyze {
+
+namespace {
+
+class CheckCoverageRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "check-coverage"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "src/ outside src/check must use UVM_CHECK instead of bare assert()/abort()";
+  }
+
+  void run(const Corpus& corpus, std::vector<Finding>& out) const override {
+    for (const SourceFile& file : corpus.files) {
+      if (!starts_with(file.path, "src/") || starts_with(file.path, "src/check/")) continue;
+      const std::vector<Token>& toks = file.tokens;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::kIdentifier) continue;
+        const std::string& t = toks[i].text;
+        if (t != "assert" && t != "abort") continue;
+        if (!is_direct_call(toks, i)) continue;
+        // std::abort is as fatal as abort; any other qualifier is a
+        // different function (e.g. SomeClass::abort).
+        const Token* prev = tok_at(toks, i, -1);
+        if (tok_is(prev, "::") && !qualified_by(toks, i, "std")) continue;
+        out.push_back(Finding{
+            std::string(name()), file.path, toks[i].line,
+            t == "assert"
+                ? "bare assert() vanishes in NDEBUG builds — use UVM_CHECK (check/check.hpp)"
+                : "abort() kills the process without a structured failure — use UVM_CHECK "
+                  "(check/check.hpp)",
+            Severity::kError});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_check_coverage_rule() { return std::make_unique<CheckCoverageRule>(); }
+
+}  // namespace uvmsim::analyze

@@ -1,0 +1,181 @@
+// Rule `obs-purity`: observation code observes, it never steers.
+//
+// Files under src/obs/ and every TraceSink implementation (trace/trace.hpp
+// guarantees "the driver never changes behavior based on an attached sink")
+// may not call non-const methods of the simulation's mutable cores:
+// UvmDriver, Simulator and BlockTable. The mutator list is not hand-written
+// — it is extracted from those class declarations at analysis time, so a
+// newly added driver mutator is covered the moment it is declared.
+//
+// Name-based: a method name counts as a mutator only when *every* overload
+// is non-const (BlockTable::block() has const and non-const overloads — a
+// name-level check cannot tell which one a call resolves to, so such names
+// are skipped rather than guessed at).
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.hpp"
+#include "analyze/rules.hpp"
+#include "analyze/rules_common.hpp"
+
+namespace uvmsim::analyze {
+
+namespace {
+
+struct MutatorSource {
+  std::string_view file;
+  std::string_view cls;
+};
+
+constexpr MutatorSource kMutatorSources[] = {
+    {"src/core/uvm_driver.hpp", "UvmDriver"},
+    {"src/core/simulator.hpp", "Simulator"},
+    {"src/mem/block_table.hpp", "BlockTable"},
+};
+
+/// Method names declared in class `cls` of `file`, split by constness.
+struct MethodScan {
+  std::set<std::string> const_names;
+  std::set<std::string> nonconst_names;
+};
+
+[[nodiscard]] MethodScan scan_class_methods(const SourceFile& file, std::string_view cls) {
+  MethodScan scan;
+  const std::vector<Token>& toks = file.tokens;
+
+  // Locate `class <cls> ... {`.
+  std::size_t body = toks.size();
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if ((toks[i].text == "class" || toks[i].text == "struct") && toks[i + 1].text == cls) {
+      for (std::size_t j = i + 2; j < toks.size(); ++j) {
+        if (toks[j].text == ";") break;  // forward declaration
+        if (toks[j].text == "{") {
+          body = j + 1;
+          break;
+        }
+      }
+      if (body != toks.size()) break;
+    }
+  }
+  if (body == toks.size()) return scan;
+
+  int depth = 1;
+  for (std::size_t i = body; i < toks.size() && depth > 0; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      ++depth;
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      continue;
+    }
+    if (depth != 1) continue;  // nested types / inline bodies are not decls
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (!tok_is(tok_at(toks, i, +1), "(")) continue;
+    if (t == cls) continue;  // constructor
+    if (tok_is(tok_at(toks, i, -1), "~") || tok_is(tok_at(toks, i, -1), "operator")) continue;
+    if (control_keywords().count(t) != 0) continue;
+
+    // Constness: `const` between the parameter list's `)` and the
+    // declaration terminator (';', '{' or '=' for defaulted/deleted).
+    const std::size_t after_params = skip_parens(toks, i + 1);
+    bool is_const = false;
+    for (std::size_t j = after_params; j < toks.size(); ++j) {
+      const std::string& q = toks[j].text;
+      if (q == ";" || q == "{" || q == "=") break;
+      if (q == "const") {
+        is_const = true;
+        break;
+      }
+    }
+    (is_const ? scan.const_names : scan.nonconst_names).insert(t);
+  }
+  return scan;
+}
+
+class ObsPurityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "obs-purity"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "src/obs and TraceSink implementations must not call UvmDriver/Simulator/"
+           "BlockTable mutators";
+  }
+
+  void run(const Corpus& corpus, std::vector<Finding>& out) const override {
+    // name -> owning classes (for the message).
+    std::map<std::string, std::string> mutators;
+    for (const MutatorSource& src : kMutatorSources) {
+      const SourceFile* file = corpus.find(src.file);
+      if (file == nullptr) continue;
+      const MethodScan scan = scan_class_methods(*file, src.cls);
+      for (const std::string& m : scan.nonconst_names) {
+        if (scan.const_names.count(m) != 0) continue;  // const overload exists
+        auto [it, inserted] = mutators.try_emplace(m, std::string(src.cls));
+        if (!inserted) {
+          it->second += '/';
+          it->second += src.cls;
+        }
+      }
+    }
+    if (mutators.empty()) return;
+
+    for (const SourceFile& file : corpus.files) {
+      if (!is_observation_file(corpus, file)) continue;
+      scan_call_sites(file, mutators, out);
+    }
+  }
+
+ private:
+  /// src/obs/**, plus any src/ file declaring a TraceSink subclass, plus the
+  /// .cpp twin of such a header (sink methods are implemented there).
+  [[nodiscard]] static bool is_observation_file(const Corpus& corpus, const SourceFile& file) {
+    if (!starts_with(file.path, "src/")) return false;
+    if (starts_with(file.path, "src/obs/")) return true;
+    if (file.path == "src/trace/trace.hpp") return false;  // declares the interface itself
+    if (declares_sink(file)) return true;
+    if (file.path.size() > 4 && file.path.substr(file.path.size() - 4) == ".cpp") {
+      const std::string header = file.path.substr(0, file.path.size() - 4) + ".hpp";
+      const SourceFile* h = corpus.find(header);
+      return h != nullptr && h->path != "src/trace/trace.hpp" && declares_sink(*h);
+    }
+    return false;
+  }
+
+  [[nodiscard]] static bool declares_sink(const SourceFile& file) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text == "public" && toks[i + 1].text == "TraceSink") return true;
+    }
+    return false;
+  }
+
+  void scan_call_sites(const SourceFile& file, const std::map<std::string, std::string>& mutators,
+                       std::vector<Finding>& out) const {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const auto it = mutators.find(toks[i].text);
+      if (it == mutators.end()) continue;
+      if (!tok_is(tok_at(toks, i, +1), "(")) continue;
+      const Token* access = tok_at(toks, i, -1);
+      if (!tok_is(access, ".") && !tok_is(access, "->")) continue;
+      const Token* object = tok_at(toks, i, -2);
+      if (tok_is(object, "this")) continue;  // the sink's own method
+      out.push_back(Finding{
+          std::string(name()), file.path, toks[i].line,
+          "observation-only code calls mutating method '" + toks[i].text + "' (a " +
+              it->second + " mutator) — sinks must never change simulation state",
+          Severity::kError});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_obs_purity_rule() { return std::make_unique<ObsPurityRule>(); }
+
+}  // namespace uvmsim::analyze

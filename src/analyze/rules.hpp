@@ -1,0 +1,20 @@
+// Factories for the shipped uvmsim-analyze rules. One translation unit per
+// rule; make_default_rules() (analysis.cpp) assembles them in report order.
+// Adding a rule: implement Rule in a new rule_<name>.cpp, declare its
+// factory here, append it in make_default_rules(), document it in
+// docs/ANALYSIS.md and cover it with a fixture test (tests/analyze/).
+#pragma once
+
+#include <memory>
+
+#include "analyze/analysis.hpp"
+
+namespace uvmsim::analyze {
+
+std::unique_ptr<Rule> make_layering_rule();
+std::unique_ptr<Rule> make_determinism_rule();
+std::unique_ptr<Rule> make_obs_purity_rule();
+std::unique_ptr<Rule> make_check_coverage_rule();
+std::unique_ptr<Rule> make_registry_hygiene_rule();
+
+}  // namespace uvmsim::analyze

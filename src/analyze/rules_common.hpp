@@ -1,0 +1,85 @@
+// Token-stream pattern helpers shared by the uvmsim-analyze rules. All of
+// these operate on the flat Token vector produced by analyze/lexer.hpp; none
+// allocate beyond their return values.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/lexer.hpp"
+
+namespace uvmsim::analyze {
+
+[[nodiscard]] inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] inline const Token* tok_at(const std::vector<Token>& toks, std::size_t i,
+                                         std::ptrdiff_t offset) {
+  const std::ptrdiff_t at = static_cast<std::ptrdiff_t>(i) + offset;
+  if (at < 0 || at >= static_cast<std::ptrdiff_t>(toks.size())) return nullptr;
+  return &toks[static_cast<std::size_t>(at)];
+}
+
+[[nodiscard]] inline bool tok_is(const Token* t, std::string_view text) {
+  return t != nullptr && t->text == text;
+}
+
+/// True when token `i` (an identifier) is used as a direct call: the next
+/// token is `(` and the identifier is not accessed as a member (`x.f(`,
+/// `x->f(`). Qualified uses (`ns::f(`) still count as direct.
+[[nodiscard]] inline bool is_direct_call(const std::vector<Token>& toks, std::size_t i) {
+  if (!tok_is(tok_at(toks, i, +1), "(")) return false;
+  const Token* prev = tok_at(toks, i, -1);
+  return !(tok_is(prev, ".") || tok_is(prev, "->"));
+}
+
+/// True when the identifier at `i` is qualified exactly by `qualifier::`
+/// (e.g. qualifier "std" matches `std::rand`).
+[[nodiscard]] inline bool qualified_by(const std::vector<Token>& toks, std::size_t i,
+                                       std::string_view qualifier) {
+  return tok_is(tok_at(toks, i, -1), "::") && tok_is(tok_at(toks, i, -2), qualifier);
+}
+
+/// Index just past the `)` matching the `(` at `open` (which must be a `(`),
+/// or toks.size() when unbalanced.
+[[nodiscard]] inline std::size_t skip_parens(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Index just past the `>` closing the `<` at `open`, treating `>>` as two
+/// closers (the lexer folds it into one token). Best-effort: returns
+/// toks.size() on unbalanced input.
+[[nodiscard]] inline std::size_t skip_template_args(const std::vector<Token>& toks,
+                                                    std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    if (depth <= 0 && i > open) return i + 1;
+  }
+  return toks.size();
+}
+
+/// C++ keywords that can precede `(` without being a function name.
+[[nodiscard]] inline const std::set<std::string, std::less<>>& control_keywords() {
+  static const std::set<std::string, std::less<>> kw = {
+      "if",       "for",     "while",   "switch",   "return",   "sizeof",
+      "alignof",  "decltype", "noexcept", "static_assert", "catch", "throw",
+      "void",     "bool",    "int",     "char",     "auto",     "new",
+      "delete",   "typeid",  "alignas", "explicit", "constexpr", "const",
+  };
+  return kw;
+}
+
+}  // namespace uvmsim::analyze

@@ -1,7 +1,8 @@
 #include "gpu/gpu_model.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.hpp"
 
 namespace uvmsim {
 
@@ -64,7 +65,7 @@ void GpuModel::launch(const Kernel& kernel, std::function<void()> on_complete) {
 
 void GpuModel::step_warp(WarpId w) {
   WarpCtx& warp = warps_[w];
-  assert(warp.active);
+  UVM_CHECK(warp.active, "GpuModel: stepping retired warp " << w);
   if (warp.pos >= warp.buf.size() && !refill(warp)) {
     retire_warp(w);
     return;
@@ -130,7 +131,7 @@ void GpuModel::finish_access(WarpId w, Cycle done) {
 void GpuModel::retire_warp(WarpId w) {
   WarpCtx& warp = warps_[w];
   warp.active = false;
-  assert(active_warps_ > 0);
+  UVM_CHECK(active_warps_ > 0, "GpuModel: retiring warp " << w << " with no active warps");
   --active_warps_;
   if (active_warps_ == 0) {
     auto done = std::move(on_complete_);

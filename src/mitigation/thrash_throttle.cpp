@@ -18,6 +18,7 @@ bool ThrashThrottle::is_throttled(BlockNum b, Cycle now) const {
 }
 
 void ThrashThrottle::trim(Cycle now) {
+  // UVMSIM-ALLOW(determinism): order-independent erase-if sweep; no output depends on visit order
   for (auto it = pinned_until_.begin(); it != pinned_until_.end();) {
     if (now >= it->second) {
       it = pinned_until_.erase(it);

@@ -1,0 +1,126 @@
+// Lexer unit tests: the properties rules rely on — comments and string
+// literals never reach the token stream, #includes come out structured, line
+// numbers survive continuations and raw strings, suppressions parse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyze/lexer.hpp"
+
+namespace ua = uvmsim::analyze;
+
+namespace {
+
+[[nodiscard]] bool has_ident(const ua::SourceFile& f, std::string_view text) {
+  return std::any_of(f.tokens.begin(), f.tokens.end(), [&](const ua::Token& t) {
+    return t.kind == ua::TokenKind::kIdentifier && t.text == text;
+  });
+}
+
+TEST(AnalyzeLexer, CommentsAndStringsDoNotLeakIntoTokens) {
+  const ua::SourceFile f = ua::lex_file("a.cpp",
+                                        "// rand() in a comment\n"
+                                        "/* srand() in a block */\n"
+                                        "const char* s = \"rand()\";\n"
+                                        "int x = real_token;\n");
+  EXPECT_FALSE(has_ident(f, "rand"));
+  EXPECT_FALSE(has_ident(f, "srand"));
+  EXPECT_TRUE(has_ident(f, "real_token"));
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_EQ(f.comments[0].text, " rand() in a comment");
+}
+
+TEST(AnalyzeLexer, StringTokenTextExcludesQuotes) {
+  const ua::SourceFile f = ua::lex_file("a.cpp", "auto s = \"hello\";\n");
+  const auto it = std::find_if(f.tokens.begin(), f.tokens.end(), [](const ua::Token& t) {
+    return t.kind == ua::TokenKind::kString;
+  });
+  ASSERT_NE(it, f.tokens.end());
+  EXPECT_EQ(it->text, "hello");
+}
+
+TEST(AnalyzeLexer, RawStringsAreDecodedNotTokenized) {
+  const ua::SourceFile f = ua::lex_file(
+      "a.cpp", "auto s = R\"(rand() \"quoted\" // not a comment)\";\nint after = 1;\n");
+  EXPECT_FALSE(has_ident(f, "rand"));
+  EXPECT_TRUE(has_ident(f, "after"));
+  const auto it = std::find_if(f.tokens.begin(), f.tokens.end(), [](const ua::Token& t) {
+    return t.kind == ua::TokenKind::kString;
+  });
+  ASSERT_NE(it, f.tokens.end());
+  EXPECT_EQ(it->text, "rand() \"quoted\" // not a comment");
+  // The token after the raw string is on the next physical line.
+  const auto after = std::find_if(f.tokens.begin(), f.tokens.end(), [](const ua::Token& t) {
+    return t.text == "after";
+  });
+  ASSERT_NE(after, f.tokens.end());
+  EXPECT_EQ(after->line, 2);
+}
+
+TEST(AnalyzeLexer, MultiLineRawStringKeepsLineNumbers) {
+  const ua::SourceFile f =
+      ua::lex_file("a.cpp", "auto s = R\"x(line1\nline2\nline3)x\";\nint tail = 0;\n");
+  const auto tail = std::find_if(f.tokens.begin(), f.tokens.end(), [](const ua::Token& t) {
+    return t.text == "tail";
+  });
+  ASSERT_NE(tail, f.tokens.end());
+  EXPECT_EQ(tail->line, 4);
+}
+
+TEST(AnalyzeLexer, IncludesAreStructured) {
+  const ua::SourceFile f = ua::lex_file("a.cpp",
+                                        "#include \"core/uvm_driver.hpp\"\n"
+                                        "#include <vector>\n"
+                                        "// #include \"commented/out.hpp\"\n");
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].target, "core/uvm_driver.hpp");
+  EXPECT_FALSE(f.includes[0].angled);
+  EXPECT_EQ(f.includes[0].line, 1);
+  EXPECT_EQ(f.includes[1].target, "vector");
+  EXPECT_TRUE(f.includes[1].angled);
+}
+
+TEST(AnalyzeLexer, LineContinuationPreservesNumbering) {
+  const ua::SourceFile f = ua::lex_file("a.cpp",
+                                        "#define M(x) \\\n"
+                                        "  do_thing(x)\n"
+                                        "int after = 0;\n");
+  const auto after = std::find_if(f.tokens.begin(), f.tokens.end(), [](const ua::Token& t) {
+    return t.text == "after";
+  });
+  ASSERT_NE(after, f.tokens.end());
+  EXPECT_EQ(after->line, 3);
+}
+
+TEST(AnalyzeLexer, MultiCharPunctuationIsOneToken) {
+  const ua::SourceFile f = ua::lex_file("a.cpp", "a::b->c >>= d;\n");
+  std::vector<std::string> puncts;
+  for (const ua::Token& t : f.tokens)
+    if (t.kind == ua::TokenKind::kPunct) puncts.push_back(t.text);
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "::"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+}
+
+TEST(AnalyzeLexer, SuppressionParses) {
+  const ua::SourceFile f =
+      ua::lex_file("a.cpp", "int x; // UVMSIM-ALLOW(determinism): seeded elsewhere\n");
+  ASSERT_EQ(f.suppressions.size(), 1u);
+  EXPECT_EQ(f.suppressions[0].rule, "determinism");
+  EXPECT_EQ(f.suppressions[0].reason, "seeded elsewhere");
+  EXPECT_EQ(f.suppressions[0].line, 1);
+}
+
+TEST(AnalyzeLexer, SuppressionWithEmptyReasonIsKeptForReporting) {
+  const ua::SourceFile f = ua::lex_file("a.cpp", "int x; // UVMSIM-ALLOW(layering):\n");
+  ASSERT_EQ(f.suppressions.size(), 1u);
+  EXPECT_TRUE(f.suppressions[0].reason.empty());
+}
+
+TEST(AnalyzeLexer, PlaceholderMentionIsNotASuppression) {
+  // Documentation that *mentions* the syntax must not register a suppression.
+  const ua::SourceFile f =
+      ua::lex_file("a.cpp", "// write UVMSIM-ALLOW(<rule>): <reason> on the line\n");
+  EXPECT_TRUE(f.suppressions.empty());
+}
+
+}  // namespace

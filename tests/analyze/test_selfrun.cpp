@@ -1,0 +1,117 @@
+// Integration tests over the real tree: the repo must analyze clean with an
+// EMPTY baseline (the acceptance bar for every PR), and the CLI must fail
+// loudly when a violation is injected into a copy of the tree.
+//
+// UVMSIM_SOURCE_DIR / UVMSIM_ANALYZE_BIN are baked in by tests/CMakeLists.txt
+// so the tests work from any ctest working directory.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analyze/analysis.hpp"
+
+namespace ua = uvmsim::analyze;
+namespace fs = std::filesystem;
+
+namespace {
+
+TEST(SelfRun, RepoIsAnalyzeCleanWithEmptyBaseline) {
+  const ua::Corpus corpus = ua::load_corpus(UVMSIM_SOURCE_DIR);
+  const ua::AnalysisResult result = ua::run_analysis(corpus, ua::AnalysisOptions{});
+  for (const ua::Finding& f : result.findings)
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] " << f.message;
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.baselined.empty()) << "self-run must not rely on a baseline";
+  EXPECT_EQ(result.rules_run.size(), 5u);
+}
+
+TEST(SelfRun, CheckedInBaselineIsEmpty) {
+  std::ifstream is(fs::path(UVMSIM_SOURCE_DIR) / "tools/uvmsim_analyze.baseline");
+  ASSERT_TRUE(is.is_open());
+  EXPECT_TRUE(ua::load_baseline(is).empty())
+      << "tools/uvmsim_analyze.baseline must ship empty — fix violations instead";
+}
+
+TEST(SelfRun, EverySuppressionInTheTreeCarriesAReason) {
+  const ua::Corpus corpus = ua::load_corpus(UVMSIM_SOURCE_DIR);
+  for (const ua::SourceFile& file : corpus.files) {
+    for (const ua::Suppression& s : file.suppressions)
+      EXPECT_FALSE(s.reason.empty()) << file.path << ":" << s.line;
+  }
+}
+
+// ---- CLI over a doctored tree -------------------------------------------
+
+class CliInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = fs::temp_directory_path() /
+            ("uvmsim_analyze_inj_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(tree_);
+    const fs::path src(UVMSIM_SOURCE_DIR);
+    fs::create_directories(tree_);
+    fs::copy(src / "src", tree_ / "src", fs::copy_options::recursive);
+    fs::copy(src / "docs", tree_ / "docs", fs::copy_options::recursive);
+  }
+
+  void TearDown() override { fs::remove_all(tree_); }
+
+  void append(const std::string& rel, const std::string& text) {
+    std::ofstream os(tree_ / rel, std::ios::app);
+    ASSERT_TRUE(os.is_open()) << rel;
+    os << text;
+  }
+
+  [[nodiscard]] int run_cli(const std::string& extra_args = "") const {
+    const std::string cmd = std::string(UVMSIM_ANALYZE_BIN) + " --root " + tree_.string() +
+                            (extra_args.empty() ? "" : " " + extra_args) +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  fs::path tree_;
+};
+
+TEST_F(CliInjectionTest, CleanCopyExitsZero) { EXPECT_EQ(run_cli(), 0); }
+
+TEST_F(CliInjectionTest, ForbiddenPolicyToCoreIncludeFails) {
+  append("src/policy/migration_policy.hpp", "#include \"core/uvm_driver.hpp\"\n");
+  EXPECT_EQ(run_cli(), 1);
+}
+
+TEST_F(CliInjectionTest, BareRandFails) {
+  append("src/workloads/graph_gen.cpp",
+         "namespace { int injected_noise() { return rand(); } }\n");
+  EXPECT_EQ(run_cli(), 1);
+}
+
+TEST_F(CliInjectionTest, ReasonlessSuppressionFails) {
+  append("src/workloads/graph_gen.cpp",
+         "// UVMSIM-ALLOW(determinism):\n"
+         "namespace { int injected_noise() { return rand(); } }\n");
+  EXPECT_EQ(run_cli(), 1);
+}
+
+TEST_F(CliInjectionTest, WriteBaselineThenBaselineNeutralizes) {
+  append("src/workloads/graph_gen.cpp",
+         "namespace { int injected_noise() { return rand(); } }\n");
+  const std::string baseline = (tree_ / "inj.baseline").string();
+  EXPECT_EQ(run_cli("--write-baseline " + baseline), 0);
+  EXPECT_EQ(run_cli("--baseline " + baseline), 0);
+}
+
+TEST_F(CliInjectionTest, GarbageFlagsExitTwo) {
+  EXPECT_EQ(run_cli("--rules no-such-rule"), 2);
+  EXPECT_EQ(run_cli("--max-findings banana"), 2);
+  EXPECT_EQ(run_cli("--no-such-flag"), 2);
+}
+
+}  // namespace
