@@ -3,7 +3,9 @@
 // and raw event-kernel churn — reported as JSON on stdout. scripts/bench.sh
 // runs this binary from the current tree and from a pre-overhaul baseline
 // checkout and combines both into BENCH_hotpath.json, so this file must only
-// use APIs that exist in both trees (run_request, EventQueue, SimStats).
+// use APIs that exist in both trees (run_request, EventQueue, SimStats,
+// UvmDriver, Tlb); anything newer is feature-gated (UVMSIM_EVENTQ_HAS_WHEEL
+// for the warp-stepper ring, __has_include for the eviction index).
 //
 //   perf_hotpath [--smoke] [--label NAME]
 //
@@ -20,6 +22,8 @@
 
 #include <uvmsim/uvmsim.hpp>
 
+#include "core/uvm_driver.hpp"
+#include "gpu/tlb.hpp"
 #include "mem/eviction.hpp"
 #include "sim/rng.hpp"
 
@@ -60,6 +64,7 @@ struct SimRow {
   double wall_ms = 0.0;
   std::uint64_t far_faults = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t accesses = 0;
   Cycle total_cycles = 0;
 };
 
@@ -78,6 +83,7 @@ SimRow bench_sim(const std::string& workload, double oversub, double scale) {
   row.wall_ms = ms_since(t0);
   row.far_faults = res.stats.far_faults;
   row.evictions = res.stats.evictions;
+  row.accesses = res.stats.total_accesses;
   row.total_cycles = res.stats.total_cycles;
   return row;
 }
@@ -206,6 +212,118 @@ ChurnRow bench_event_churn(std::uint64_t target_events) {
   return row;
 }
 
+#ifdef UVMSIM_EVENTQ_HAS_WHEEL
+/// Warp-ring churn: the same steady-state queue depth as bench_event_churn,
+/// but every event is a warp step scheduled through the registered-stepper
+/// ring (plain WarpId payloads, no closure capture) — the shape the GPU model
+/// puts on the queue once per access.
+struct RingCtx {
+  EventQueue q;
+  std::uint32_t stepper = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t target = 0;
+  std::uint64_t checksum = 0;
+
+  static void step(void* self, WarpId w) {
+    auto* ctx = static_cast<RingCtx*>(self);
+    ++ctx->fired;
+    ctx->checksum += w;
+    if (ctx->fired + ctx->q.pending() < ctx->target) {
+      ctx->q.schedule_warp_in(1 + (ctx->fired * 7) % 13, ctx->stepper, w + 1);
+    }
+  }
+};
+
+ChurnRow bench_warp_ring_churn(std::uint64_t target_events) {
+  constexpr std::uint64_t kDepth = 256;
+  RingCtx ctx;
+  ctx.target = target_events;
+  ctx.stepper = ctx.q.register_warp_stepper(&RingCtx::step, &ctx);
+  const auto t0 = Clock::now();
+  for (std::uint64_t lane = 0; lane < kDepth; ++lane) {
+    ctx.q.schedule_warp_at(static_cast<Cycle>(lane % 5), ctx.stepper,
+                           static_cast<WarpId>(lane));
+  }
+  ctx.q.run();
+  ChurnRow row;
+  row.events = ctx.q.executed();
+  row.wall_ms = ms_since(t0);
+  if (ctx.checksum == 0xDEADBEEF) std::fprintf(stderr, "!\n");  // keep live
+  return row;
+}
+#endif  // UVMSIM_EVENTQ_HAS_WHEEL
+
+struct StormRow {
+  std::uint64_t ops = 0;
+  double wall_ms = 0.0;
+  [[nodiscard]] double ns_per_op() const {
+    return ops > 0 ? wall_ms * 1e6 / static_cast<double>(ops) : 0.0;
+  }
+};
+
+/// Driver fast path in isolation: every block preloaded, then a storm of
+/// device-resident accesses — counter increments, recency touches and the
+/// DRAM-latency completion, with no faults and no observation sinks. This is
+/// the per-access driver overhead that rides on every one of the billions of
+/// local accesses a run services.
+StormRow bench_driver_storm(std::uint64_t accesses) {
+  SimConfig cfg;
+  AddressSpace space;
+  const std::uint64_t kSpan = 64ull << 20;  // 64 MB working set
+  space.allocate("a", kSpan);
+  EventQueue q;
+  SimStats stats;
+  UvmDriver drv(cfg, space, 2 * kSpan, q, stats);  // no oversubscription
+  drv.preload_all([](Cycle) {});
+  q.run();
+
+  Rng rng(0xACCE55);
+  StormRow row;
+  std::uint64_t checksum = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const VirtAddr addr = (i * 256 + rng.below(128)) % kSpan;
+    const AccessType type = rng.chance(0.25) ? AccessType::kWrite : AccessType::kRead;
+    const AccessOutcome out =
+        drv.access(static_cast<WarpId>(i & 63), addr, type, 1, q.now() + i);
+    checksum += out.done;
+  }
+  row.wall_ms = ms_since(t0);
+  row.ops = accesses;
+  if (checksum == 0xDEADBEEF) std::fprintf(stderr, "!\n");  // keep live
+  return row;
+}
+
+/// Per-SM TLB in isolation: the lookup-or-install that runs once per access,
+/// over a stream mixing sequential runs (hits) with scattered jumps (misses).
+StormRow bench_tlb_storm(std::uint64_t lookups) {
+  Tlb tlb(64);
+  Rng rng(0x71B);
+  StormRow row;
+  std::uint64_t hits = 0;
+  PageNum p = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < lookups; ++i) {
+    p = (i & 7) != 0 ? p + 1 : rng.below(1u << 20);  // 7 sequential : 1 jump
+    if (tlb.access(p)) ++hits;
+  }
+  row.wall_ms = ms_since(t0);
+  row.ops = lookups;
+  if (hits == 0xDEADBEEF) std::fprintf(stderr, "!\n");  // keep live
+  return row;
+}
+
+/// One attribution lane: a measured per-op cost scaled by the op count the
+/// sim runs actually performed, expressed as a share of sim_wall_ms.
+struct Lane {
+  const char* key;
+  double ns_per_op;
+  std::uint64_t ops;
+  [[nodiscard]] double est_ms() const {
+    return ns_per_op * static_cast<double>(ops) / 1e6;
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +343,8 @@ int main(int argc, char** argv) {
   const double scale = smoke ? 0.05 : 0.3;
   const std::uint64_t churn_events = smoke ? 400000 : 4000000;
   const std::uint64_t evict_iters = smoke ? 1500 : 15000;
+  const std::uint64_t storm_accesses = smoke ? 200000 : 2000000;
+  const std::uint64_t tlb_lookups = smoke ? 1000000 : 10000000;
 
   std::vector<SimRow> rows;
   for (const char* wl : {"bfs", "sssp"}) {
@@ -234,13 +354,46 @@ int main(int argc, char** argv) {
   }
   const EvictRow evict = bench_eviction_selection(evict_iters);
   const ChurnRow churn = bench_event_churn(churn_events);
+#ifdef UVMSIM_EVENTQ_HAS_WHEEL
+  const ChurnRow ring = bench_warp_ring_churn(churn_events);
+#endif
+  const StormRow driver = bench_driver_storm(storm_accesses);
+  const StormRow tlb = bench_tlb_storm(tlb_lookups);
 
   double sim_wall_ms = 0.0;
   std::uint64_t faults = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t sim_evictions = 0;
   for (const SimRow& r : rows) {
     sim_wall_ms += r.wall_ms;
     faults += r.far_faults;
+    accesses += r.accesses;
+    sim_evictions += r.evictions;
   }
+
+  // Cycle attribution: per-op costs from the isolation microbenches scaled by
+  // the op counts the sim runs performed. Event-dispatch ops approximate the
+  // queue traffic (one warp step per access plus engine/transfer events); the
+  // remainder lane absorbs everything unmeasured (kernel task generation, the
+  // policy layer, stats, allocator noise).
+  const double churn_ns =
+      churn.events > 0 ? churn.wall_ms * 1e6 / static_cast<double>(churn.events) : 0.0;
+#ifdef UVMSIM_EVENTQ_HAS_WHEEL
+  const double dispatch_ns =
+      ring.events > 0 ? ring.wall_ms * 1e6 / static_cast<double>(ring.events) : churn_ns;
+#else
+  const double dispatch_ns = churn_ns;
+#endif
+  const double evict_ns =
+      evict.selections > 0 ? evict.wall_ms * 1e6 / static_cast<double>(evict.selections)
+                           : 0.0;
+  const std::uint64_t dispatch_ops = accesses + 2 * faults;
+  const Lane lanes[] = {
+      {"event_dispatch", dispatch_ns, dispatch_ops},
+      {"driver", driver.ns_per_op(), accesses},
+      {"tlb_l2", tlb.ns_per_op(), accesses},
+      {"eviction", evict_ns, sim_evictions},
+  };
 
   std::printf("{\n  \"label\": \"%s\",\n  \"smoke\": %s,\n  \"scale\": %g,\n",
               label.c_str(), smoke ? "true" : "false", scale);
@@ -248,10 +401,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SimRow& r = rows[i];
     std::printf("    {\"workload\": \"%s\", \"oversub\": %.2f, \"wall_ms\": %.2f, "
-                "\"far_faults\": %llu, \"evictions\": %llu, \"total_cycles\": %llu}%s\n",
+                "\"far_faults\": %llu, \"evictions\": %llu, \"accesses\": %llu, "
+                "\"total_cycles\": %llu}%s\n",
                 r.workload.c_str(), r.oversub, r.wall_ms,
                 static_cast<unsigned long long>(r.far_faults),
                 static_cast<unsigned long long>(r.evictions),
+                static_cast<unsigned long long>(r.accesses),
                 static_cast<unsigned long long>(r.total_cycles),
                 i + 1 < rows.size() ? "," : "");
   }
@@ -266,12 +421,43 @@ int main(int argc, char** argv) {
                   : 0.0);
   std::printf("  \"faults_per_sec\": %.0f,\n",
               sim_wall_ms > 0 ? static_cast<double>(faults) * 1000.0 / sim_wall_ms : 0.0);
+  std::printf("  \"accesses_per_sec\": %.0f,\n",
+              sim_wall_ms > 0 ? static_cast<double>(accesses) * 1000.0 / sim_wall_ms
+                              : 0.0);
   std::printf("  \"event_queue\": {\"events\": %llu, \"wall_ms\": %.2f, "
               "\"events_per_sec\": %.0f},\n",
               static_cast<unsigned long long>(churn.events), churn.wall_ms,
               churn.wall_ms > 0
                   ? static_cast<double>(churn.events) * 1000.0 / churn.wall_ms
                   : 0.0);
+#ifdef UVMSIM_EVENTQ_HAS_WHEEL
+  std::printf("  \"event_queue_warp_ring\": {\"events\": %llu, \"wall_ms\": %.2f, "
+              "\"events_per_sec\": %.0f},\n",
+              static_cast<unsigned long long>(ring.events), ring.wall_ms,
+              ring.wall_ms > 0
+                  ? static_cast<double>(ring.events) * 1000.0 / ring.wall_ms
+                  : 0.0);
+#endif
+  std::printf("  \"driver_storm\": {\"accesses\": %llu, \"wall_ms\": %.2f, "
+              "\"ns_per_access\": %.1f},\n",
+              static_cast<unsigned long long>(driver.ops), driver.wall_ms,
+              driver.ns_per_op());
+  std::printf("  \"tlb_storm\": {\"lookups\": %llu, \"wall_ms\": %.2f, "
+              "\"ns_per_lookup\": %.2f},\n",
+              static_cast<unsigned long long>(tlb.ops), tlb.wall_ms, tlb.ns_per_op());
+  std::printf("  \"attribution\": {\n");
+  double attributed_ms = 0.0;
+  for (const Lane& lane : lanes) {
+    attributed_ms += lane.est_ms();
+    std::printf("    \"%s\": {\"ns_per_op\": %.2f, \"ops\": %llu, \"est_ms\": %.2f, "
+                "\"est_share\": %.3f},\n",
+                lane.key, lane.ns_per_op, static_cast<unsigned long long>(lane.ops),
+                lane.est_ms(),
+                sim_wall_ms > 0 ? lane.est_ms() / sim_wall_ms : 0.0);
+  }
+  const double other_ms = sim_wall_ms > attributed_ms ? sim_wall_ms - attributed_ms : 0.0;
+  std::printf("    \"other\": {\"est_ms\": %.2f, \"est_share\": %.3f}\n  },\n", other_ms,
+              sim_wall_ms > 0 ? other_ms / sim_wall_ms : 0.0);
   std::printf("  \"peak_rss_kb\": %ld\n}\n", peak_rss_kb());
   return 0;
 }

@@ -80,10 +80,27 @@ if baseline is not None:
                              current["event_queue"]["wall_ms"]),
         "sim_wall": ratio(baseline["sim_wall_ms"], current["sim_wall_ms"]),
     }
+    if baseline.get("faults_per_sec") and current.get("faults_per_sec"):
+        doc["speedup"]["faults_per_sec"] = ratio(current["faults_per_sec"],
+                                                 baseline["faults_per_sec"])
+    # Regression gate: a current tree measurably slower than the baseline on
+    # the headline sim number fails the run (3% grace absorbs wall-clock
+    # noise). The verdict is recorded in the merged JSON either way.
+    GATE_MIN = 0.97
+    sim_speedup = doc["speedup"]["sim_wall"]
+    gate_fail = sim_speedup is not None and sim_speedup < GATE_MIN
+    doc["gate"] = {"min_sim_wall_speedup": GATE_MIN,
+                   "sim_wall_speedup": sim_speedup,
+                   "result": "fail" if gate_fail else "pass"}
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}")
 if baseline is not None:
     print("speedup:", doc["speedup"])
+    if doc["gate"]["result"] == "fail":
+        print(f"GATE FAILED: sim_wall speedup {sim_speedup} < {GATE_MIN} "
+              "(current tree is slower than the baseline)", file=sys.stderr)
+        sys.exit(1)
+    print("gate: pass")
 PY

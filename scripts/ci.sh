@@ -45,6 +45,41 @@ for key in ("eviction_microbench", "event_queue", "sim_wall_ms"):
 print("perf smoke: BENCH_hotpath JSON well-formed")
 PY
 
+# Bench smoke: run the hot-path benchmark binary directly and validate the
+# full report schema — the headline rates (faults/accesses per second), the
+# isolation microbenches, and the per-subsystem cycle attribution whose
+# shares must cover sim_wall exactly (docs/PERF.md).
+echo "==> bench smoke (perf_hotpath --smoke schema)"
+build/bench/perf_hotpath --smoke > /tmp/uvmsim_bench_smoke.json
+python3 - /tmp/uvmsim_bench_smoke.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("sim_runs", "sim_wall_ms", "faults_per_sec", "accesses_per_sec",
+            "eviction_microbench", "event_queue", "event_queue_warp_ring",
+            "driver_storm", "tlb_storm", "attribution", "peak_rss_kb"):
+    assert key in doc, f"perf_hotpath report missing {key}"
+assert doc["faults_per_sec"] > 0, "faults_per_sec must be positive"
+assert doc["accesses_per_sec"] > 0, "accesses_per_sec must be positive"
+assert doc["sim_runs"], "no sim rows"
+for row in doc["sim_runs"]:
+    for key in ("workload", "oversub", "wall_ms", "far_faults", "accesses"):
+        assert key in row, f"sim row missing {key}: {row}"
+att = doc["attribution"]
+for lane in ("event_dispatch", "driver", "tlb_l2", "eviction", "other"):
+    assert lane in att, f"attribution missing {lane} lane"
+    assert "est_ms" in att[lane] and "est_share" in att[lane], att[lane]
+    if lane != "other":
+        assert "ns_per_op" in att[lane] and "ops" in att[lane], att[lane]
+# The "other" lane is the remainder, so shares sum to ~1.0 (modulo rounding)
+# unless the isolated per-op costs overshoot sim_wall — allow that skew but
+# catch nonsense (negative lanes, wildly wrong scaling).
+total_share = sum(l["est_share"] for l in att.values())
+assert all(l["est_share"] >= 0 for l in att.values()), "negative attribution share"
+assert 0.98 <= total_share <= 3.0, f"attribution shares sum to {total_share}"
+print(f"bench smoke: schema ok, attribution covers "
+      f"{total_share:.0%} of sim_wall")
+PY
+
 # Observability smoke: an audited oversubscribed run with the Chrome trace
 # writer and the registry-complete metrics recorder attached must produce a
 # parseable trace (monotone timestamps, every event family present) and a

@@ -10,6 +10,7 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
                      std::uint64_t capacity_bytes, EventQueue& queue, SimStats& stats,
                      BandwidthRegulator* shared_host_mem)
     : cfg_(cfg),
+      historic_counters_(cfg.policy.historic_counters()),
       space_(space),
       queue_(queue),
       stats_(stats),
@@ -103,26 +104,42 @@ void UvmDriver::audit_final() {
 
 AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::uint32_t count,
                                 Cycle now) {
+  // Pick the instantiation matching the attached sinks: with both detached
+  // (the bench/sweep configuration) every observation hook below is
+  // compiled out, not just branched over.
+  if (trace_ == nullptr) {
+    return audit_ == nullptr ? access_impl<false, false>(w, addr, type, count, now)
+                             : access_impl<false, true>(w, addr, type, count, now);
+  }
+  return audit_ == nullptr ? access_impl<true, false>(w, addr, type, count, now)
+                           : access_impl<true, true>(w, addr, type, count, now);
+}
+
+template <bool kTrace, bool kAudit>
+AccessOutcome UvmDriver::access_impl(WarpId w, VirtAddr addr, AccessType type,
+                                     std::uint32_t count, Cycle now) {
   // Audit on entry: the structures are quiescent between events, so a pass
   // here sees a consistent snapshot before this access mutates anything.
-  if (audit_) audit_->on_event(audit_scope(), stats_);
+  if constexpr (kAudit) audit_->on_event(audit_scope(), stats_);
   roll_feature_window(now);
   stats_.total_accesses += count;
   const BlockNum b = block_of(addr);
-  const Residence res = table_.block(b).residence;
+  const Residence res = table_.residence(b);
   // Historic counters (Adaptive) track every access; Volta counters (static
   // schemes) only track remote accesses to host-resident pages.
   std::uint32_t post_count = 0;
-  if (cfg_.policy.historic_counters() || res == Residence::kHost) {
-    const std::uint64_t prev_halvings = counters_.halvings();
+  if (historic_counters_ || res == Residence::kHost) {
+    [[maybe_unused]] const std::uint64_t prev_halvings = counters_.halvings();
     post_count = counters_.record_access(addr, count);
     stats_.counter_halvings = counters_.halvings();
-    if (trace_ != nullptr && counters_.halvings() != prev_halvings) {
-      trace_->on_counter_halving(now, counters_.halvings());
+    if constexpr (kTrace) {
+      if (counters_.halvings() != prev_halvings) {
+        trace_->on_counter_halving(now, counters_.halvings());
+      }
     }
   }
   table_.touch(b, type, now);
-  if (trace_ != nullptr) {
+  if constexpr (kTrace) {
     trace_->on_access(now, addr, type, count, res == Residence::kDevice);
   }
 
@@ -165,16 +182,18 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
   // State-of-practice mitigation (off by default): blocks detected as
   // thrashing are temporarily host-pinned, overriding the migrate decision.
   if (d == MigrationDecision::kMigrate && throttle_.enabled()) {
-    const std::uint64_t prev_pins = throttle_.pins();
-    throttle_.note_fault(b, now, table_.block(b).round_trips);
-    if (trace_ != nullptr && throttle_.pins() != prev_pins) {
-      trace_->on_throttle_pin(now, b, throttle_.pinned_until(b));
+    [[maybe_unused]] const std::uint64_t prev_pins = throttle_.pins();
+    throttle_.note_fault(b, now, table_.round_trips(b));
+    if constexpr (kTrace) {
+      if (throttle_.pins() != prev_pins) {
+        trace_->on_throttle_pin(now, b, throttle_.pinned_until(b));
+      }
     }
     if (throttle_.is_throttled(b, now)) d = MigrationDecision::kRemoteAccess;
   }
 
   if (d == MigrationDecision::kRemoteAccess) {
-    if (trace_ != nullptr) {
+    if constexpr (kTrace) {
       trace_->on_decision(now, addr, type, feat.post_count, feat.round_trips, d,
                           /*write_forced=*/false);
     }
@@ -214,14 +233,14 @@ AccessOutcome UvmDriver::access(WarpId w, VirtAddr addr, AccessType type, std::u
     }
   }
   if (write_forced) ++stats_.write_forced_migrations;
-  if (trace_ != nullptr) {
+  if constexpr (kTrace) {
     trace_->on_decision(now, addr, type, feat.post_count, feat.round_trips, d, write_forced);
   }
 
   ++stats_.far_faults;
   ++feat_window_faults_;
   raise_fault(b, w, /*with_prefetch=*/!write_forced);
-  if (type == AccessType::kWrite) table_.block(b).dirty_on_arrival = true;
+  if (type == AccessType::kWrite) table_.set_dirty_on_arrival(b);
   return AccessOutcome{true, 0};
 }
 
@@ -234,32 +253,48 @@ void UvmDriver::raise_fault(BlockNum b, WarpId w, bool with_prefetch) {
 }
 
 void UvmDriver::maybe_start_engine() {
-  if (engine_busy_ || pending_.empty()) return;
+  if (engine_busy_ || pending_faults() == 0) return;
   engine_busy_ = true;
   // Let the fault buffer fill before draining the first batch; backlogged
-  // batches chain immediately from service_batch.
+  // batches chain immediately from service_batch_impl.
   queue_.schedule_in(cfg_.xfer.fault_batch_window, [this] { process_batch(); });
 }
 
 void UvmDriver::process_batch() {
   UVM_CHECK(engine_busy_, "UvmDriver: fault engine drained a batch while idle; pending="
-                << pending_.size() << " in_flight=" << in_flight_);
-  if (pending_.empty()) {
+                << pending_faults() << " in_flight=" << in_flight_);
+  const std::size_t avail = pending_faults();
+  if (avail == 0) {
     engine_busy_ = false;
     return;
   }
-  std::vector<PendingFault> batch;
-  const std::size_t take = std::min<std::size_t>(pending_.size(), cfg_.xfer.fault_batch_max);
-  batch.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
-  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  // Stage the batch into the reused buffer (the engine is serial: exactly one
+  // batch is outstanding, so this never clobbers in-service faults) and pop
+  // the head range by advancing the cursor — no deque shuffling.
+  const std::size_t take = std::min<std::size_t>(avail, cfg_.xfer.fault_batch_max);
+  const auto head = pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_);
+  batch_buf_.assign(head, head + static_cast<std::ptrdiff_t>(take));
+  pending_head_ += take;
+  if (pending_head_ == pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
+  }
   ++stats_.fault_batches;
   if (trace_ != nullptr) {
     trace_->on_fault_batch(queue_.now(), queue_.now() + cfg_.far_fault_cycles(), take);
   }
-  queue_.schedule_in(cfg_.far_fault_cycles(),
-                     [this, batch = std::move(batch)]() mutable { service_batch(std::move(batch)); });
+  queue_.schedule_in(cfg_.far_fault_cycles(), [this] { dispatch_service_batch(); });
 }
 
+void UvmDriver::dispatch_service_batch() {
+  if (trace_ == nullptr) {
+    audit_ == nullptr ? service_batch_impl<false, false>() : service_batch_impl<false, true>();
+  } else {
+    audit_ == nullptr ? service_batch_impl<true, false>() : service_batch_impl<true, true>();
+  }
+}
+
+template <bool kTrace, bool kAudit>
 bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_ready) {
   eviction_.select_victims_into(
       table_, counters_,
@@ -267,7 +302,7 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
       victim_buf_);
   const std::vector<BlockNum>& victims = victim_buf_;
   if (victims.empty()) return false;
-  if (trace_ != nullptr) trace_->on_eviction(now, faulting_chunk, victims);
+  if constexpr (kTrace) trace_->on_eviction(now, faulting_chunk, victims);
 
   ++stats_.evictions;
   roll_feature_window(now);
@@ -276,8 +311,6 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
     const bool dirty = table_.mark_evicted(v);
     if (peers_ != nullptr) peers_->clear_resident(v, gpu_id_);
     counters_.record_round_trip(addr_of_block(v));
-    device_.release(1);
-    stats_.pages_evicted += kPagesPerBlock;
     if (dirty) {
       stats_.writeback_pages += kPagesPerBlock;
       stats_.bytes_d2h += kBasicBlockSize;
@@ -287,17 +320,20 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
     }
     if (tlb_invalidate_) tlb_invalidate_(v);
   }
+  // Coalesced per-victim bookkeeping: one device-memory release and one
+  // stats update for the whole victim set (observationally identical — the
+  // auditor only samples at event boundaries).
+  device_.release(victims.size());
+  stats_.pages_evicted += kPagesPerBlock * victims.size();
   return true;
 }
 
+template <bool kTrace, bool kAudit>
 void UvmDriver::enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_before) {
-  if (trace_ != nullptr) trace_->on_migration(now, b, demand);
-  if (table_.block(b).round_trips >= 1) {
+  if constexpr (kTrace) trace_->on_migration(now, b, demand);
+  if (table_.round_trips(b) >= 1) {
     stats_.pages_thrashed += kPagesPerBlock;
-    if (!table_.block(b).thrashed_once) {
-      table_.block(b).thrashed_once = true;
-      stats_.distinct_pages_thrashed += kPagesPerBlock;
-    }
+    if (table_.note_thrashed_once(b)) stats_.distinct_pages_thrashed += kPagesPerBlock;
   }
   if (demand) {
     ++stats_.blocks_migrated;
@@ -305,7 +341,7 @@ void UvmDriver::enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_
     ++stats_.blocks_prefetched;
   }
   // Volta counters clear on migration; the historic counters persist.
-  if (!cfg_.policy.historic_counters()) {
+  if (!historic_counters_) {
     counters_.reset_range(addr_of_block(b), kBasicBlockSize);
   }
   stats_.bytes_h2d += kBasicBlockSize;
@@ -317,12 +353,17 @@ void UvmDriver::enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_
   queue_.schedule_at(std::max(pcie_done, host_done), [this, b] { on_block_arrival(b); });
 }
 
-void UvmDriver::service_batch(std::vector<PendingFault> batch) {
+template <bool kTrace, bool kAudit>
+void UvmDriver::service_batch_impl() {
   const Cycle now = queue_.now();
   Cycle writeback_ready = 0;
   bool progressed = false;
 
-  for (const PendingFault& f : batch) {
+  // Faults are serviced strictly in arrival order: the order of evictions
+  // determines the victim set, so any reordering (e.g. a sort by chunk)
+  // would change outputs. Same-chunk locality is already strong because a
+  // faulting warp's neighbours fault on the same chunk back to back.
+  for (const PendingFault& f : batch_buf_) {
     // Build the migration set: demand block first, then prefetch expansion.
     expand_buf_.clear();
     if (f.with_prefetch) {
@@ -335,8 +376,8 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
     bool demand_ok = device_.reserve(1);
     while (!demand_ok) {
       device_.note_full();
-      if (trace_ != nullptr) trace_->on_device_full(now);
-      if (!evict_for(fault_chunk, now, writeback_ready)) break;
+      if constexpr (kTrace) trace_->on_device_full(now);
+      if (!evict_for<kTrace, kAudit>(fault_chunk, now, writeback_ready)) break;
       demand_ok = device_.reserve(1);
     }
     if (!demand_ok) {
@@ -349,7 +390,7 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
               "UvmDriver: servicing fault for block " << f.block
                   << " with no queued faults tracked");
     --queued_fault_blocks_;
-    enqueue_migration(f.block, /*demand=*/true, now, writeback_ready);
+    enqueue_migration<kTrace, kAudit>(f.block, /*demand=*/true, now, writeback_ready);
     progressed = true;
 
     // Prefetch blocks are best-effort: they may evict, but once nothing is
@@ -358,30 +399,30 @@ void UvmDriver::service_batch(std::vector<PendingFault> batch) {
       bool ok = device_.reserve(1);
       while (!ok) {
         device_.note_full();
-        if (trace_ != nullptr) trace_->on_device_full(now);
-        if (!evict_for(fault_chunk, now, writeback_ready)) break;
+        if constexpr (kTrace) trace_->on_device_full(now);
+        if (!evict_for<kTrace, kAudit>(fault_chunk, now, writeback_ready)) break;
         ok = device_.reserve(1);
       }
       if (!ok) break;
       table_.mark_in_flight(pb);
-      enqueue_migration(pb, /*demand=*/false, now, writeback_ready);
+      enqueue_migration<kTrace, kAudit>(pb, /*demand=*/false, now, writeback_ready);
     }
   }
 
-  if (!pending_.empty() && progressed) {
+  if (pending_faults() != 0 && progressed) {
     // Chain the next batch immediately: the fault-handling engine is serial.
     queue_.schedule_in(0, [this] { process_batch(); });
-  } else if (!pending_.empty() && in_flight_ > 0) {
+  } else if (pending_faults() != 0 && in_flight_ > 0) {
     // No progress possible until transfers land; arrivals restart the engine.
     engine_busy_ = false;
-  } else if (!pending_.empty()) {
+  } else if (pending_faults() != 0) {
     // Nothing in flight and nothing evictable: retry after a backoff to
     // guarantee forward progress in time.
     queue_.schedule_in(cfg_.far_fault_cycles(), [this] { process_batch(); });
   } else {
     engine_busy_ = false;
   }
-  if (audit_) audit_->on_event(audit_scope(), stats_);
+  if constexpr (kAudit) audit_->on_event(audit_scope(), stats_);
 }
 
 void UvmDriver::preload_all(std::function<void(Cycle)> on_done) {
@@ -391,7 +432,7 @@ void UvmDriver::preload_all(std::function<void(Cycle)> on_done) {
     const BlockNum first = block_of(a.base);
     const BlockNum end = first + a.padded_size / kBasicBlockSize;
     for (BlockNum b = first; b < end; ++b) {
-      if (table_.block(b).residence != Residence::kHost) continue;
+      if (table_.residence(b) != Residence::kHost) continue;
       if (!device_.reserve(1)) {
         throw std::invalid_argument(
             "UvmDriver::preload_all: working set exceeds device capacity — "
@@ -412,8 +453,19 @@ void UvmDriver::preload_all(std::function<void(Cycle)> on_done) {
 }
 
 void UvmDriver::on_block_arrival(BlockNum b) {
+  if (trace_ == nullptr) {
+    audit_ == nullptr ? on_block_arrival_impl<false, false>(b)
+                      : on_block_arrival_impl<false, true>(b);
+  } else {
+    audit_ == nullptr ? on_block_arrival_impl<true, false>(b)
+                      : on_block_arrival_impl<true, true>(b);
+  }
+}
+
+template <bool kTrace, bool kAudit>
+void UvmDriver::on_block_arrival_impl(BlockNum b) {
   const Cycle now = queue_.now();
-  if (trace_ != nullptr) trace_->on_arrival(now, b);
+  if constexpr (kTrace) trace_->on_arrival(now, b);
   table_.mark_resident(b, now);
   if (peers_ != nullptr) peers_->set_resident(b, gpu_id_);
   UVM_CHECK(in_flight_ > 0, "UvmDriver: block " << b
@@ -432,7 +484,7 @@ void UvmDriver::on_block_arrival(BlockNum b) {
     waiters_.erase(it);
   }
   maybe_start_engine();
-  if (audit_) audit_->on_event(audit_scope(), stats_);
+  if constexpr (kAudit) audit_->on_event(audit_scope(), stats_);
 }
 
 }  // namespace uvmsim

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -91,9 +90,11 @@ class UvmDriver {
   [[nodiscard]] const PcieFabric& pcie() const noexcept { return pcie_; }
   [[nodiscard]] const MigrationPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const ThrashThrottle& throttle() const noexcept { return throttle_; }
-  [[nodiscard]] std::size_t pending_faults() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_faults() const noexcept {
+    return pending_.size() - pending_head_;
+  }
   [[nodiscard]] bool idle() const noexcept {
-    return pending_.empty() && !engine_busy_ && in_flight_ == 0;
+    return pending_faults() == 0 && !engine_busy_ && in_flight_ == 0;
   }
 
   /// The invariant auditor, or null when `audit.enabled` is off.
@@ -116,13 +117,33 @@ class UvmDriver {
   void raise_fault(BlockNum b, WarpId w, bool with_prefetch);
   void maybe_start_engine();
   void process_batch();
-  void service_batch(std::vector<PendingFault> batch);
-  /// Frees one block of device memory; returns false when nothing evictable.
-  bool evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_ready);
-  void enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_before);
+  /// Runtime dispatchers picking the <kTrace, kAudit> instantiation that
+  /// matches the attached sinks — once per access / batch / arrival, so the
+  /// detached (bench/sweep) configuration runs code with the observation
+  /// hooks compiled out entirely.
+  void dispatch_service_batch();
   void on_block_arrival(BlockNum b);
 
+  template <bool kTrace, bool kAudit>
+  [[nodiscard]] AccessOutcome access_impl(WarpId w, VirtAddr addr, AccessType type,
+                                          std::uint32_t count, Cycle now);
+  /// Services the faults staged in batch_buf_ (the engine is serial, so one
+  /// reused buffer holds the single outstanding batch).
+  template <bool kTrace, bool kAudit>
+  void service_batch_impl();
+  /// Frees one eviction unit of device memory; returns false when nothing is
+  /// evictable.
+  template <bool kTrace, bool kAudit>
+  bool evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_ready);
+  template <bool kTrace, bool kAudit>
+  void enqueue_migration(BlockNum b, bool demand, Cycle now, Cycle not_before);
+  template <bool kTrace, bool kAudit>
+  void on_block_arrival_impl(BlockNum b);
+
   const SimConfig& cfg_;
+  /// cfg_.policy.historic_counters(), resolved once: the answer is fixed for
+  /// a run, and the slug-based form costs string compares per access.
+  const bool historic_counters_;
   const AddressSpace& space_;
   EventQueue& queue_;
   SimStats& stats_;
@@ -142,7 +163,11 @@ class UvmDriver {
 
   std::vector<MemAdvice> block_advice_;  ///< per-block placement hint
   std::unordered_map<BlockNum, std::vector<WarpId>> waiters_;
-  std::deque<PendingFault> pending_;
+  /// Fault queue as a vector + head cursor (FIFO; the head range is compacted
+  /// away whenever the queue drains, which it does every few batches).
+  std::vector<PendingFault> pending_;
+  std::size_t pending_head_ = 0;
+  std::vector<PendingFault> batch_buf_;  ///< the one in-service batch, reused
   bool engine_busy_ = false;
   std::uint64_t in_flight_ = 0;  ///< H2D block transfers not yet arrived
   /// Demand blocks marked in-flight but still queued (pending_ or an

@@ -8,6 +8,7 @@ namespace uvmsim {
 
 GpuModel::GpuModel(const SimConfig& cfg, EventQueue& queue, UvmDriver& driver, SimStats& stats)
     : cfg_(cfg), queue_(queue), driver_(driver), stats_(stats) {
+  stepper_ = queue_.register_warp_stepper(&GpuModel::step_warp_thunk, this);
   const std::uint32_t total = cfg.total_warps();
   warps_.resize(total);
   for (std::uint32_t w = 0; w < total; ++w) warps_[w].sm = w % cfg.gpu.num_sms;
@@ -50,7 +51,7 @@ void GpuModel::launch(const Kernel& kernel, std::function<void()> on_complete) {
     warp.active = refill(warp);
     if (warp.active) {
       ++active_warps_;
-      queue_.schedule_in(0, [this, w] { step_warp(w); });
+      queue_.schedule_warp_in(0, stepper_, w);
     }
   }
   if (active_warps_ == 0) {
@@ -61,6 +62,10 @@ void GpuModel::launch(const Kernel& kernel, std::function<void()> on_complete) {
       if (done) done();
     });
   }
+}
+
+void GpuModel::step_warp_thunk(void* ctx, WarpId w) {
+  static_cast<GpuModel*>(ctx)->step_warp(w);
 }
 
 void GpuModel::step_warp(WarpId w) {
@@ -74,7 +79,9 @@ void GpuModel::step_warp(WarpId w) {
   const Access& a = warp.buf[warp.pos];
   const Cycle now = queue_.now();
 
-  // One LSU issue slot per SM per cycle.
+  // One LSU issue slot per SM per cycle — claimed up front, before the TLB
+  // and L2 lookups, so even accesses fully absorbed by an L2 hit consume
+  // their issue cycle (pinned by GpuScheduling.L2HitsStillConsumeIssueSlots).
   Cycle issue = now;
   if (sm_next_issue_[warp.sm] > issue) issue = sm_next_issue_[warp.sm];
   sm_next_issue_[warp.sm] = issue + 1;
@@ -124,8 +131,7 @@ void GpuModel::finish_access(WarpId w, Cycle done) {
   WarpCtx& warp = warps_[w];
   const Cycle next = done + warp.buf[warp.pos].gap;
   ++warp.pos;
-  queue_.schedule_at(next < queue_.now() ? queue_.now() : next,
-                     [this, w] { step_warp(w); });
+  queue_.schedule_warp_at(next < queue_.now() ? queue_.now() : next, stepper_, w);
 }
 
 void GpuModel::retire_warp(WarpId w) {

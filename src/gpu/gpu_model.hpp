@@ -42,6 +42,9 @@ class GpuModel {
   };
 
   void step_warp(WarpId w);
+  /// Warp-step ring trampoline: the event queue carries a plain WarpId and
+  /// calls back through this, so no per-access closure is ever built.
+  static void step_warp_thunk(void* ctx, WarpId w);
   /// Called by the driver when a stalled warp's access completes.
   void wake_warp(WarpId w, Cycle ready);
   void finish_access(WarpId w, Cycle done);
@@ -54,6 +57,7 @@ class GpuModel {
   SimStats& stats_;
 
   std::vector<WarpCtx> warps_;
+  std::uint32_t stepper_ = 0;  ///< this model's warp-stepper handle in queue_
   std::vector<Cycle> sm_next_issue_;
   std::vector<Tlb> tlbs_;
   std::unique_ptr<L2Cache> l2_;  ///< present only when the L2 model is on

@@ -4,6 +4,7 @@
 // table walk).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -14,7 +15,7 @@ namespace uvmsim {
 class Tlb {
  public:
   explicit Tlb(std::uint32_t entries)
-      : slots_(entries, kEmpty) {}
+      : slots_(entries, kEmpty), pow2_(std::has_single_bit(entries)), mask_(entries - 1) {}
 
   /// Look up `p`, installing it on miss. Returns true on hit.
   bool access(PageNum p) noexcept {
@@ -36,8 +37,14 @@ class Tlb {
 
  private:
   static constexpr PageNum kEmpty = ~PageNum{0};
-  [[nodiscard]] std::size_t index(PageNum p) const noexcept { return p % slots_.size(); }
+  /// Direct-mapped slot; the usual power-of-two capacity (default 64) maps
+  /// with a mask instead of a per-access 64-bit division.
+  [[nodiscard]] std::size_t index(PageNum p) const noexcept {
+    return pow2_ ? (p & mask_) : p % slots_.size();
+  }
   std::vector<PageNum> slots_;
+  bool pow2_;
+  std::size_t mask_;
 };
 
 }  // namespace uvmsim

@@ -1,7 +1,5 @@
 #include "mem/access_counters.hpp"
 
-#include <algorithm>
-
 #include "check/check.hpp"
 #include "mem/eviction_index.hpp"
 
@@ -17,32 +15,6 @@ AccessCounterTable::AccessCounterTable(std::uint64_t units, std::uint32_t unit_s
   UVM_CHECK(count_bits >= kMinCountBits && count_bits <= kMaxCountBits,
             "AccessCounterTable: count_bits " << count_bits << " outside ["
                 << kMinCountBits << ", " << kMaxCountBits << ']');
-}
-
-void AccessCounterTable::notify_count(std::uint64_t u, std::uint32_t old_count,
-                                      std::uint32_t new_count) {
-  if (index_ != nullptr && old_count != new_count) {
-    index_->on_unit_count(u, old_count, new_count);
-  }
-}
-
-std::uint32_t AccessCounterTable::record_access(VirtAddr a, std::uint32_t n) {
-  const std::uint64_t u = unit_of(a);
-  std::uint32_t trips = regs_[u] >> count_bits_;
-  std::uint64_t cnt = (regs_[u] & count_max_) + static_cast<std::uint64_t>(n);
-  if (cnt >= count_max_) {
-    halve_all();
-    trips = regs_[u] >> count_bits_;
-    cnt = (regs_[u] & count_max_) + static_cast<std::uint64_t>(n);
-    cnt = std::min<std::uint64_t>(cnt, count_max_ - 1);
-  }
-  // Clamp-at-saturation: the global halving must have left headroom.
-  UVM_CHECK(cnt < count_max_, "AccessCounterTable: unit " << u << " count " << cnt
-                << " not clamped below saturation (halvings=" << halvings_ << ')');
-  const std::uint32_t old_count = regs_[u] & count_max_;
-  regs_[u] = (trips << count_bits_) | static_cast<std::uint32_t>(cnt);
-  notify_count(u, old_count, static_cast<std::uint32_t>(cnt));
-  return static_cast<std::uint32_t>(cnt);
 }
 
 void AccessCounterTable::reset_count(VirtAddr a) {

@@ -12,14 +12,15 @@
 // saturation halvings happen within a handful of accesses instead of 2^27.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "check/check.hpp"
+#include "mem/block_table.hpp"  // inline EvictionIndex::on_unit_count
 #include "sim/types.hpp"
 
 namespace uvmsim {
-
-class EvictionIndex;
 
 class AccessCounterTable {
  public:
@@ -49,8 +50,27 @@ class AccessCounterTable {
 
   /// Record `n` coalesced accesses to the unit holding `a`.
   /// Returns the post-increment access count. Triggers a global halving when
-  /// the count field saturates.
-  std::uint32_t record_access(VirtAddr a, std::uint32_t n = 1);
+  /// the count field saturates. Inline — runs once per GPU access
+  /// (docs/PERF.md); the saturation/halving branch is the rare path and
+  /// stays out of line.
+  std::uint32_t record_access(VirtAddr a, std::uint32_t n = 1) {
+    const std::uint64_t u = unit_of(a);
+    std::uint32_t trips = regs_[u] >> count_bits_;
+    std::uint64_t cnt = (regs_[u] & count_max_) + static_cast<std::uint64_t>(n);
+    if (cnt >= count_max_) {
+      halve_all();
+      trips = regs_[u] >> count_bits_;
+      cnt = (regs_[u] & count_max_) + static_cast<std::uint64_t>(n);
+      cnt = std::min<std::uint64_t>(cnt, count_max_ - 1);
+    }
+    // Clamp-at-saturation: the global halving must have left headroom.
+    UVM_CHECK(cnt < count_max_, "AccessCounterTable: unit " << u << " count " << cnt
+                  << " not clamped below saturation (halvings=" << halvings_ << ')');
+    const std::uint32_t old_count = regs_[u] & count_max_;
+    regs_[u] = (trips << count_bits_) | static_cast<std::uint32_t>(cnt);
+    notify_count(u, old_count, static_cast<std::uint32_t>(cnt));
+    return static_cast<std::uint32_t>(cnt);
+  }
 
   /// Record an eviction round trip for the unit holding `a`.
   void record_round_trip(VirtAddr a);
@@ -90,7 +110,11 @@ class AccessCounterTable {
   void set_eviction_index(EvictionIndex* index) noexcept { index_ = index; }
 
  private:
-  void notify_count(std::uint64_t u, std::uint32_t old_count, std::uint32_t new_count);
+  void notify_count(std::uint64_t u, std::uint32_t old_count, std::uint32_t new_count) {
+    if (index_ != nullptr && old_count != new_count) {
+      index_->on_unit_count(u, old_count, new_count);
+    }
+  }
 
   std::vector<std::uint32_t> regs_;
   std::uint32_t unit_shift_;

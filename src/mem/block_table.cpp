@@ -6,44 +6,39 @@
 namespace uvmsim {
 
 BlockTable::BlockTable(const AddressSpace& space) : space_(space) {
-  blocks_.resize(space.total_blocks());
-  chunks_.resize(chunk_of_block(space.total_blocks() == 0 ? 0 : space.total_blocks() - 1) + 1);
-}
-
-void BlockTable::touch(BlockNum b, AccessType type, Cycle now) {
-  BlockState& s = blocks_[b];
-  s.last_access = now;
-  if (type == AccessType::kWrite) {
-    s.written_ever = true;
-    if (s.residence == Residence::kDevice) {
-      s.dirty = true;
-    } else if (s.residence == Residence::kInFlight) {
-      // The write replays once the migration lands; the block arrives dirty.
-      s.dirty_on_arrival = true;
-    }
+  const BlockNum nblocks = space.total_blocks();
+  state_.assign(nblocks, static_cast<std::uint8_t>(Residence::kHost));
+  last_access_.assign(nblocks, 0);
+  round_trips_.assign(nblocks, 0);
+  chunks_.resize(chunk_of_block(nblocks == 0 ? 0 : nblocks - 1) + 1);
+  chunk_nblocks_.resize(chunks_.size());
+  for (ChunkNum c = 0; c < chunks_.size(); ++c) {
+    chunk_nblocks_[c] = space.chunk_num_blocks(c);
   }
-  ChunkResidency& c = chunks_[chunk_of_block(b)];
-  c.last_access = now;
-  if (type == AccessType::kWrite) c.written_ever = true;
-  if (index_ != nullptr) index_->on_touch(b, now);
 }
 
 void BlockTable::mark_in_flight(BlockNum b) {
-  BlockState& s = blocks_[b];
-  UVM_CHECK(s.residence == Residence::kHost,
+  UVM_CHECK(residence(b) == Residence::kHost,
             "BlockTable: in-flight transition requires host residence; block=" << b
-                << " state=" << to_cstr(s.residence) << " round_trips=" << s.round_trips);
-  s.residence = Residence::kInFlight;
+                << " state=" << to_cstr(residence(b)) << " round_trips=" << round_trips_[b]);
+  state_[b] = static_cast<std::uint8_t>(
+      (state_[b] & ~kResidenceMask) | static_cast<std::uint8_t>(Residence::kInFlight));
 }
 
 void BlockTable::mark_resident(BlockNum b, Cycle now) {
-  BlockState& s = blocks_[b];
-  UVM_CHECK(s.residence == Residence::kInFlight,
+  UVM_CHECK(residence(b) == Residence::kInFlight,
             "BlockTable: resident transition requires in-flight state; block=" << b
-                << " state=" << to_cstr(s.residence) << " now=" << now);
-  s.residence = Residence::kDevice;
-  s.dirty = s.dirty_on_arrival;
-  s.dirty_on_arrival = false;
+                << " state=" << to_cstr(residence(b)) << " now=" << now);
+  std::uint8_t st = state_[b];
+  st = static_cast<std::uint8_t>((st & ~kResidenceMask) |
+                                 static_cast<std::uint8_t>(Residence::kDevice));
+  // A write that raced the migration makes the block arrive dirty.
+  if ((st & kDirtyOnArrivalBit) != 0)
+    st |= kDirtyBit;
+  else
+    st &= static_cast<std::uint8_t>(~kDirtyBit);
+  st &= static_cast<std::uint8_t>(~kDirtyOnArrivalBit);
+  state_[b] = st;
   ChunkResidency& c = chunks_[chunk_of_block(b)];
   if (c.resident_blocks == 0) c.migrated_at = now;
   ++c.resident_blocks;
@@ -51,14 +46,14 @@ void BlockTable::mark_resident(BlockNum b, Cycle now) {
 }
 
 bool BlockTable::mark_evicted(BlockNum b) {
-  BlockState& s = blocks_[b];
-  UVM_CHECK(s.residence == Residence::kDevice,
+  UVM_CHECK(residence(b) == Residence::kDevice,
             "BlockTable: eviction requires device residence; block=" << b
-                << " state=" << to_cstr(s.residence) << " dirty=" << s.dirty);
-  const bool was_dirty = s.dirty;
-  s.residence = Residence::kHost;
-  s.dirty = false;
-  ++s.round_trips;
+                << " state=" << to_cstr(residence(b)) << " dirty=" << dirty(b));
+  const std::uint8_t st = state_[b];
+  const bool was_dirty = (st & kDirtyBit) != 0;
+  state_[b] = static_cast<std::uint8_t>(
+      (st & ~(kResidenceMask | kDirtyBit)) | static_cast<std::uint8_t>(Residence::kHost));
+  ++round_trips_[b];
   ChunkResidency& c = chunks_[chunk_of_block(b)];
   UVM_CHECK(c.resident_blocks > 0,
             "BlockTable: chunk " << chunk_of_block(b)
@@ -73,11 +68,6 @@ std::vector<BlockNum> BlockTable::resident_blocks_of(ChunkNum c) const {
   out.reserve(chunks_[c].resident_blocks);
   for_each_resident_block(c, [&](BlockNum b) { out.push_back(b); });
   return out;
-}
-
-bool BlockTable::chunk_fully_resident(ChunkNum c) const {
-  const std::uint32_t n = space_.chunk_num_blocks(c);
-  return n != 0 && chunks_[c].resident_blocks == n;
 }
 
 }  // namespace uvmsim

@@ -25,10 +25,10 @@ ChunkNum LruEviction::pick(const std::vector<ChunkNum>& candidates, const BlockT
 std::uint64_t LfuEviction::chunk_frequency(ChunkNum c, const BlockTable& table,
                                            const AccessCounterTable& counters) {
   const BlockNum first = first_block_of_chunk(c);
-  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  const std::uint32_t n = table.chunk_num_blocks(c);
   std::uint64_t total = 0;
   for (BlockNum b = first; b < first + n; ++b) {
-    if (table.block(b).residence == Residence::kDevice) {
+    if (table.residence(b) == Residence::kDevice) {
       total += counters.range_count(addr_of_block(b), kBasicBlockSize);
     }
   }
@@ -58,7 +58,7 @@ ChunkNum LfuEviction::pick(const std::vector<ChunkNum>& candidates, const BlockT
 void tree_eviction_subtree_into(ChunkNum c, const BlockTable& table,
                                 std::vector<BlockNum>& out) {
   const BlockNum first = first_block_of_chunk(c);
-  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  const std::uint32_t n = table.chunk_num_blocks(c);
   if (n == 0) return;
 
   // LRU block among the chunk's resident blocks.
@@ -66,9 +66,8 @@ void tree_eviction_subtree_into(ChunkNum c, const BlockTable& table,
   Cycle lru_ts = std::numeric_limits<Cycle>::max();
   bool found = false;
   for (BlockNum b = first; b < first + n; ++b) {
-    const BlockState& s = table.block(b);
-    if (s.residence == Residence::kDevice && s.last_access < lru_ts) {
-      lru_ts = s.last_access;
+    if (table.residence(b) == Residence::kDevice && table.block_last_access(b) < lru_ts) {
+      lru_ts = table.block_last_access(b);
       lru = b;
       found = true;
     }
@@ -82,7 +81,7 @@ void tree_eviction_subtree_into(ChunkNum c, const BlockTable& table,
     const std::uint32_t lo = leaf / size * size;
     bool full = true;
     for (std::uint32_t i = lo; i < lo + size && full; ++i) {
-      full = i < n && table.block(first + i).residence == Residence::kDevice;
+      full = i < n && table.residence(first + i) == Residence::kDevice;
     }
     if (!full) break;
     best_lo = lo;
@@ -235,7 +234,7 @@ void EvictionManager::emit_victims(ChunkNum victim, const BlockTable& table,
   Cycle coldest_ts = std::numeric_limits<Cycle>::max();
   table.for_each_resident_block(victim, [&](BlockNum b) {
     const std::uint64_t cnt = counters.range_count(addr_of_block(b), kBasicBlockSize);
-    const Cycle ts = table.block(b).last_access;
+    const Cycle ts = table.block_last_access(b);
     if (std::tie(cnt, ts) < std::tie(coldest_cnt, coldest_ts)) {
       coldest_cnt = cnt;
       coldest_ts = ts;

@@ -21,6 +21,7 @@ void EvictionIndex::attach(const BlockTable* table, const AccessCounterTable* co
   prev_.assign(n, kNilChunk);
   next_.assign(n, kNilChunk);
   in_list_.assign(n, 0);
+  key_.assign(n, 0);
   freq_.assign(n, 0);
   head_ = tail_ = kNilChunk;
   size_ = 0;
@@ -28,6 +29,7 @@ void EvictionIndex::attach(const BlockTable* table, const AccessCounterTable* co
 
   for (ChunkNum c = 0; c < n; ++c) {
     if (table->chunk(c).resident_blocks == 0) continue;
+    key_[c] = table->chunk(c).last_access;
     insert_sorted(c);
     in_list_[c] = 1;
     ++size_;
@@ -52,10 +54,10 @@ void EvictionIndex::insert_sorted(ChunkNum c) {
   // Walk back from the tail past entries with a larger (last_access, chunk)
   // key. Touches carry monotone timestamps, so in the steady state this
   // walk only skips same-cycle ties with a larger chunk number.
-  const Cycle la = table_->chunk(c).last_access;
+  const Cycle la = key_[c];
   ChunkNum p = tail_;
   while (p != kNilChunk) {
-    const Cycle pla = table_->chunk(p).last_access;
+    const Cycle pla = key_[p];
     if (pla < la || (pla == la && p < c)) break;
     p = prev_[p];
   }
@@ -82,30 +84,13 @@ void EvictionIndex::unlink(ChunkNum c) {
   prev_[c] = next_[c] = kNilChunk;
 }
 
-void EvictionIndex::on_touch(BlockNum b, Cycle /*now*/) {
-  const ChunkNum c = chunk_of_block(b);
-  if (in_list_[c] == 0) return;  // no resident blocks: not a candidate
-  // The chunk's key just grew to the current cycle. Skip the reposition when
-  // the list order is already correct (the common case: re-touching the MRU
-  // chunk, or a neighbour that needs no move).
-  const Cycle la = table_->chunk(c).last_access;
-  const ChunkNum nx = next_[c];
-  const ChunkNum pv = prev_[c];
-  const bool next_ok =
-      nx == kNilChunk || table_->chunk(nx).last_access > la ||
-      (table_->chunk(nx).last_access == la && nx > c);
-  const bool prev_ok =
-      pv == kNilChunk || table_->chunk(pv).last_access < la ||
-      (table_->chunk(pv).last_access == la && pv < c);
-  if (next_ok && prev_ok) return;
-  unlink(c);
-  insert_sorted(c);
-}
-
 void EvictionIndex::on_resident(BlockNum b) {
   const ChunkNum c = chunk_of_block(b);
   if (!freq_stale_) freq_[c] += block_count_sum(b);
   if (in_list_[c] == 0) {
+    // The chunk may have been touched while unlisted (on_touch early-outs
+    // without maintaining key_), so refresh the key before inserting.
+    key_[c] = table_->chunk(c).last_access;
     insert_sorted(c);
     in_list_[c] = 1;
     ++size_;
@@ -131,18 +116,6 @@ void EvictionIndex::on_evicted(BlockNum b) {
     // so a stale value cannot leak into the chunk's next residency episode.
     freq_[c] = 0;
   }
-}
-
-void EvictionIndex::on_unit_count(std::uint64_t unit, std::uint32_t old_count,
-                                  std::uint32_t new_count) {
-  if (freq_stale_) return;  // the next rebuild reads the registers directly
-  const BlockNum b = unit >> units_per_block_shift_;
-  if (b >= table_->num_blocks()) return;
-  if (table_->block(b).residence != Residence::kDevice) return;
-  const ChunkNum c = chunk_of_block(b);
-  UVM_CHECK(freq_[c] >= old_count, "EvictionIndex: chunk " << c << " aggregate "
-                << freq_[c] << " below unit " << unit << " old count " << old_count);
-  freq_[c] = freq_[c] - old_count + new_count;
 }
 
 void EvictionIndex::rebuild_frequencies() const {

@@ -54,7 +54,43 @@ class EvictionIndex {
   // --- mutation hooks (called by BlockTable / AccessCounterTable) ---------
 
   /// A block access stamped chunk recency: reposition the chunk in the list.
-  void on_touch(BlockNum b, Cycle now);
+  /// Inline — this runs once per GPU access, and after the dense key shadow
+  /// it needs no block-table state at all: BlockTable::touch stamped
+  /// chunk last_access = now before invoking the hook, so `now` IS the new
+  /// key. The reposition (uncommon: re-touching the MRU chunk or a
+  /// stay-in-place neighbour needs no move) stays out of line.
+  void on_touch(BlockNum b, Cycle now) {
+    const ChunkNum c = chunk_of_block(b);
+    if (in_list_[c] == 0) return;  // no resident blocks: not a candidate
+    key_[c] = now;
+    const ChunkNum nx = next_[c];
+    const ChunkNum pv = prev_[c];
+    const bool next_ok =
+        nx == kNilChunk || key_[nx] > now || (key_[nx] == now && nx > c);
+    const bool prev_ok =
+        pv == kNilChunk || key_[pv] < now || (key_[pv] == now && pv < c);
+    if (next_ok && prev_ok) return;
+    // Touches carry the current cycle, the maximal key, so a repositioned
+    // chunk almost always lands at the tail; splice it there directly when
+    // the tail's key sorts before (now, c) — the interleaved-warp steady
+    // state, roughly half of all touches. The guard is false when c is the
+    // tail itself (key_[c] == now already), so nx is a real chunk below.
+    const ChunkNum t = tail_;
+    if (key_[t] < now || (key_[t] == now && t < c)) {
+      if (pv != kNilChunk)
+        next_[pv] = nx;
+      else
+        head_ = nx;
+      prev_[nx] = pv;  // nx != kNilChunk because c != tail
+      prev_[c] = t;
+      next_[c] = kNilChunk;
+      next_[t] = c;
+      tail_ = c;
+      return;
+    }
+    unlink(c);
+    insert_sorted(c);
+  }
   /// A block turned device-resident: enter the list if first in its chunk,
   /// and absorb the block's current counter sum into the chunk aggregate.
   void on_resident(BlockNum b);
@@ -62,6 +98,9 @@ class EvictionIndex {
   /// the list when the chunk empties.
   void on_evicted(BlockNum b);
   /// One counter unit's count field changed (increment or reset).
+  /// Per-access like on_touch; defined inline at the bottom of
+  /// block_table.hpp (it reads block residency, and this header cannot
+  /// include block_table.hpp — block_table.hpp includes us).
   void on_unit_count(std::uint64_t unit, std::uint32_t old_count,
                      std::uint32_t new_count);
   /// Every counter register was rescaled (global halving): the running
@@ -101,6 +140,10 @@ class EvictionIndex {
   std::vector<ChunkNum> prev_;
   std::vector<ChunkNum> next_;
   std::vector<std::uint8_t> in_list_;
+  /// Dense shadow of chunk(c).last_access for listed chunks: the reposition
+  /// comparisons in on_touch/insert_sorted run per access, and a flat Cycle
+  /// array avoids striding through the wider ChunkResidency records.
+  std::vector<Cycle> key_;
   ChunkNum head_ = kNilChunk;
   ChunkNum tail_ = kNilChunk;
   std::uint64_t size_ = 0;

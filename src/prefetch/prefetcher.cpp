@@ -11,7 +11,7 @@ namespace {
 /// not already selected.
 bool prefetchable(BlockNum b, const BlockTable& table, const std::vector<BlockNum>& out) {
   if (b >= table.num_blocks()) return false;
-  if (table.block(b).residence != Residence::kHost) return false;
+  if (table.residence(b) != Residence::kHost) return false;
   return std::find(out.begin(), out.end(), b) == out.end();
 }
 
@@ -21,7 +21,7 @@ void SequentialPrefetcher::expand(BlockNum b, const BlockTable& table,
                                   std::vector<BlockNum>& out) {
   const ChunkNum c = chunk_of_block(b);
   const BlockNum first = first_block_of_chunk(c);
-  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  const std::uint32_t n = table.chunk_num_blocks(c);
   std::uint32_t taken = 0;
   for (BlockNum nb = b + 1; nb < first + n && taken < degree_; ++nb) {
     if (prefetchable(nb, table, out)) {
@@ -34,7 +34,7 @@ void SequentialPrefetcher::expand(BlockNum b, const BlockTable& table,
 void RandomPrefetcher::expand(BlockNum b, const BlockTable& table, std::vector<BlockNum>& out) {
   const ChunkNum c = chunk_of_block(b);
   const BlockNum first = first_block_of_chunk(c);
-  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  const std::uint32_t n = table.chunk_num_blocks(c);
   if (n <= 1) return;
   // One random probe; a miss (occupied/duplicate) simply prefetches nothing,
   // mirroring the low hit rate that makes this baseline weak.
@@ -65,14 +65,14 @@ std::uint32_t TreePrefetcher::expand_mask(std::uint32_t occupied, std::uint32_t 
 void TreePrefetcher::expand(BlockNum b, const BlockTable& table, std::vector<BlockNum>& out) {
   const ChunkNum c = chunk_of_block(b);
   const BlockNum first = first_block_of_chunk(c);
-  const std::uint32_t n = table.space().chunk_num_blocks(c);
+  const std::uint32_t n = table.chunk_num_blocks(c);
   if (n <= 1) return;
 
   // Occupancy bitmap: device-resident, in-flight, already-selected leaves,
   // and the demand leaf itself.
   std::uint32_t occupied = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
-    const Residence r = table.block(first + i).residence;
+    const Residence r = table.residence(first + i);
     if (r != Residence::kHost) occupied |= 1u << i;
   }
   for (BlockNum sel : out) {

@@ -6,23 +6,30 @@
 
 namespace uvmsim {
 
-void EventQueue::schedule_at(Cycle when, Action act) {
-  // Timestamp monotonicity: the clock only moves forward, so an event in the
-  // past could never fire (deterministic-replay invariant).
-  UVM_CHECK(when >= now_, "EventQueue: scheduling into the past; when=" << when
-                << " now=" << now_ << " pending=" << heap_.size());
-  std::uint32_t si;
-  if (free_head_ != kNoSlot) {
-    si = free_head_;
-    Slot& s = slots_[si];
-    free_head_ = s.next_free;
-    s.act = std::move(act);
-  } else {
-    si = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(Slot{std::move(act), kNoSlot});
+std::uint32_t EventQueue::register_warp_stepper(WarpStepFn fn, void* ctx) {
+  UVM_CHECK(fn != nullptr, "EventQueue: null warp stepper");
+  steppers_.push_back(WarpStepper{fn, ctx});
+  return static_cast<std::uint32_t>(steppers_.size());  // 1-based: 0 = action
+}
+
+Cycle EventQueue::rescan_wheel_from(Cycle from) const noexcept {
+  const std::size_t start = static_cast<std::size_t>(from) & kWheelMask;
+  const std::size_t word = start >> 6;
+  const unsigned bit = static_cast<unsigned>(start & 63);
+  // Bits at or above `bit` in the first word are cycles from..(end of word).
+  const std::uint64_t head = occ_[word] >> bit;
+  if (head != 0) return from + static_cast<Cycle>(std::countr_zero(head));
+  Cycle dist = 64 - bit;
+  for (std::size_t i = 1; i < kOccWords; ++i) {
+    const std::uint64_t w = occ_[(word + i) & (kOccWords - 1)];
+    if (w != 0) return from + dist + static_cast<Cycle>(std::countr_zero(w));
+    dist += 64;
   }
-  heap_.push_back(HeapEntry{when, next_seq_++, si});
-  sift_up(heap_.size() - 1);
+  // Wrapped tail of the first word: bits below `bit` are cycles just short
+  // of from + span.
+  const std::uint64_t tail = bit != 0 ? occ_[word] & ((std::uint64_t{1} << bit) - 1) : 0;
+  if (tail != 0) return from + dist + static_cast<Cycle>(std::countr_zero(tail));
+  return kNeverCycle;  // caller guarantees wheel_count_ > 0 — unreachable
 }
 
 void EventQueue::sift_up(std::size_t i) noexcept {
@@ -54,22 +61,69 @@ void EventQueue::sift_down(std::size_t i) noexcept {
   heap_[i] = v;
 }
 
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  const HeapEntry e = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-
-  Slot& s = slots_[e.slot];
-  now_ = e.when;
-  EventAction act = std::move(s.act);
-  // Recycle the slot before firing: the action may schedule (reusing this
-  // slot) or grow the pool, which would invalidate `s`.
-  s.next_free = free_head_;
-  free_head_ = e.slot;
+void EventQueue::fire(std::uint32_t payload, std::uint32_t kind) {
   ++executed_;
-  act();
+  if (kind == kKindAction) {
+    Slot& s = slots_[payload];
+    EventAction act = std::move(s.act);
+    // Recycle the slot before firing: the action may schedule (reusing this
+    // slot) or grow the pool, which would invalidate `s`.
+    s.next_free = free_head_;
+    free_head_ = payload;
+    act();
+  } else {
+    const WarpStepper& st = steppers_[kind - 1];
+    st.fn(st.ctx, payload);
+  }
+}
+
+bool EventQueue::step() {
+  const bool have_wheel = wheel_count_ != 0;
+  // Heap events stay in the heap even once the clock brings them inside the
+  // wheel span — ordering is enforced by merging the two fronts here.
+  bool take_wheel = have_wheel;
+  if (have_wheel && !heap_.empty()) {
+    const HeapEntry& h = heap_.front();
+    if (h.when != wheel_next_) {
+      take_wheel = wheel_next_ < h.when;
+    } else {
+      const std::vector<Entry>& bucket =
+          buckets_[static_cast<std::size_t>(wheel_next_) & kWheelMask];
+      const std::size_t pos = drain_cycle_ == wheel_next_ ? drain_pos_ : 0;
+      take_wheel = bucket[pos].seq < h.seq;
+    }
+  } else if (!have_wheel && heap_.empty()) {
+    return false;
+  }
+
+  if (take_wheel) {
+    const std::size_t b = static_cast<std::size_t>(wheel_next_) & kWheelMask;
+    std::vector<Entry>& bucket = buckets_[b];
+    if (drain_cycle_ != wheel_next_) {
+      drain_cycle_ = wheel_next_;
+      drain_pos_ = 0;
+    }
+    const Entry e = bucket[drain_pos_++];
+    --wheel_count_;
+    now_ = wheel_next_;
+    if (drain_pos_ == bucket.size()) {
+      bucket.clear();
+      drain_pos_ = 0;
+      occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+      // Everything left in the wheel is strictly later than now_ (same-cycle
+      // pushes would have landed in the bucket just drained); a later push at
+      // now_ re-lowers wheel_next_ via the min in push_entry.
+      wheel_next_ = wheel_count_ != 0 ? rescan_wheel_from(now_ + 1) : kNeverCycle;
+    }
+    fire(e.payload, e.kind);
+  } else {
+    const HeapEntry e = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    now_ = e.when;
+    fire(e.payload, e.kind);
+  }
   return true;
 }
 

@@ -2,16 +2,28 @@
 // (cycle, sequence, action) events. Sequence numbers break ties so that
 // same-cycle events fire in schedule order (deterministic replay).
 //
-// Hot-path layout (see docs/PERF.md): actions live in a slot pool recycled
-// through an intrusive free list, and the priority queue is a 4-ary min-heap
-// of plain (when, seq, slot) triples — comparisons touch only the heap array
-// (no pointer chase into the pool), sifts move 24-byte PODs instead of
-// type-erased callables, and the shallower 4-ary tree roughly halves the
-// comparison depth of a binary heap. Actions are EventAction (small-buffer
-// type-erased callables), so in the steady state schedule/fire performs no
-// heap allocation at all.
+// Hot-path layout (see docs/PERF.md): the queue is a hierarchical timing
+// wheel over a 4-ary heap fallback. Events landing within the wheel span
+// (`when - now < kWheelSpan`, which covers warp gaps, DRAM/PCIe latencies
+// and the fault-batch window — the overwhelming majority) are appended to a
+// per-cycle bucket in O(1); only far events (the 45 us far-fault service
+// delay, coarse timeline samples) reach the heap. Because the global
+// sequence counter is monotone, a bucket is sorted by construction, so pop
+// is "merge heap top with the front of the earliest non-empty bucket" —
+// strict (when, seq) order is preserved exactly and replay stays
+// bit-identical with the heap-only implementation.
+//
+// Two event flavours share the wheel and the heap:
+//   * actions — EventAction (small-buffer type-erased callables) in a slot
+//     pool recycled through an intrusive free list;
+//   * warp steps — a plain WarpId routed to a registered warp stepper
+//     (fn + ctx). GpuModel schedules tens of millions of these per run;
+//     carrying a 4-byte id instead of a 48-byte callable keeps the hot
+//     schedule/fire cycle allocation-free and memcpy-light.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -19,7 +31,13 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sim/types.hpp"
+
+/// Feature-test macro for out-of-tree consumers built against both this
+/// queue and the pre-wheel one (bench/perf_hotpath.cpp is grafted onto the
+/// baseline worktree by scripts/bench.sh).
+#define UVMSIM_EVENTQ_HAS_WHEEL 1
 
 namespace uvmsim {
 
@@ -136,12 +154,59 @@ class EventAction {
 class EventQueue {
  public:
   using Action = EventAction;
+  /// Warp-step handler: a plain function pointer + context so firing a warp
+  /// step is one indirect call with no type-erased callable in between.
+  using WarpStepFn = void (*)(void* ctx, WarpId w);
+
+  /// Cycles covered by the near-future wheel; events further out go to the
+  /// heap fallback. Public so the equivalence property test can generate
+  /// delays that straddle the boundary.
+  static constexpr Cycle kWheelSpan = 4096;
 
   /// Schedule `act` to run at absolute cycle `when` (must be >= now(); the
   /// clock never runs backwards, so a past event could never fire).
-  void schedule_at(Cycle when, Action act);
+  /// Inline along with schedule_warp_at and push_entry: scheduling happens
+  /// once per simulated access, and the wheel append is small enough that the
+  /// call overhead dominated it.
+  void schedule_at(Cycle when, Action act) {
+    // Timestamp monotonicity: the clock only moves forward, so an event in
+    // the past could never fire (deterministic-replay invariant).
+    UVM_CHECK(when >= now_, "EventQueue: scheduling into the past; when=" << when
+                  << " now=" << now_ << " pending=" << pending());
+    std::uint32_t si;
+    if (free_head_ != kNoSlot) {
+      si = free_head_;
+      Slot& s = slots_[si];
+      free_head_ = s.next_free;
+      s.act = std::move(act);
+    } else {
+      si = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{std::move(act), kNoSlot});
+    }
+    push_entry(when, si, kKindAction);
+  }
   /// Schedule `act` to run `delay` cycles after now().
   void schedule_in(Cycle delay, Action act) { schedule_at(now_ + delay, std::move(act)); }
+
+  /// Register a warp-step handler and get back an opaque nonzero handle for
+  /// schedule_warp_at. One handler per GpuModel: multi-GPU simulations share
+  /// a single queue across several models, so the handle routes each warp
+  /// step back to the model that owns the warp.
+  std::uint32_t register_warp_stepper(WarpStepFn fn, void* ctx);
+
+  /// Schedule warp `w` of handler `stepper` to step at absolute cycle `when`
+  /// (same monotonicity rule as schedule_at). Shares the global (when, seq)
+  /// order with every action event.
+  void schedule_warp_at(Cycle when, std::uint32_t stepper, WarpId w) {
+    UVM_CHECK(when >= now_, "EventQueue: scheduling warp step into the past; when="
+                  << when << " now=" << now_);
+    UVM_CHECK(stepper != kKindAction && stepper <= steppers_.size(),
+              "EventQueue: unknown warp stepper handle " << stepper);
+    push_entry(when, w, stepper);
+  }
+  void schedule_warp_in(Cycle delay, std::uint32_t stepper, WarpId w) {
+    schedule_warp_at(now_ + delay, stepper, w);
+  }
 
   /// Pop and run the next event; returns false when the queue is empty.
   bool step();
@@ -151,23 +216,46 @@ class EventQueue {
   std::uint64_t run_bounded(std::uint64_t max_events);
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return wheel_count_ == 0 && heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size() + wheel_count_; }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  /// Entry kind 0 is an action (payload = slot index); kind k >= 1 is a warp
+  /// step for steppers_[k - 1] (payload = WarpId).
+  static constexpr std::uint32_t kKindAction = 0;
+
+  static constexpr std::size_t kWheelMask = static_cast<std::size_t>(kWheelSpan) - 1;
+  static constexpr std::size_t kOccWords = static_cast<std::size_t>(kWheelSpan) / 64;
+  static_assert((kWheelSpan & (kWheelSpan - 1)) == 0, "wheel span must be a power of two");
 
   struct Slot {
     EventAction act;
     std::uint32_t next_free = kNoSlot;  ///< free-list link while recycled
   };
 
+  /// Wheel bucket entry. All live entries of one bucket share the same
+  /// absolute cycle (every wheel event satisfies when ∈ [now, now+span), so
+  /// two cycles can never alias to one bucket), and the monotone global seq
+  /// means appends keep each bucket sorted — the front entry is the minimum.
+  struct Entry {
+    std::uint64_t seq;
+    std::uint32_t payload;
+    std::uint32_t kind;
+  };
+
   /// Heap node: ordering keys inline so comparisons never touch the pool.
   struct HeapEntry {
     Cycle when;
     std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint32_t payload;
+    std::uint32_t kind;
+  };
+
+  struct WarpStepper {
+    WarpStepFn fn;
+    void* ctx;
   };
 
   /// Strict (when, seq) order; seq is unique, so ties never reach the heap's
@@ -178,9 +266,42 @@ class EventQueue {
   void sift_up(std::size_t i) noexcept;
   void sift_down(std::size_t i) noexcept;
 
-  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap of (when, seq, slot)
+  void push_entry(Cycle when, std::uint32_t payload, std::uint32_t kind) {
+    const std::uint64_t seq = next_seq_++;
+    if (when - now_ < kWheelSpan) {
+      const std::size_t b = static_cast<std::size_t>(when) & kWheelMask;
+      std::vector<Entry>& bucket = buckets_[b];
+      if (bucket.empty()) occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
+      bucket.push_back(Entry{seq, payload, kind});
+      ++wheel_count_;
+      if (when < wheel_next_) wheel_next_ = when;
+    } else {
+      heap_.push_back(HeapEntry{when, seq, payload, kind});
+      sift_up(heap_.size() - 1);
+    }
+  }
+  void fire(std::uint32_t payload, std::uint32_t kind);
+  /// Smallest occupied wheel cycle >= `from`, assuming every wheel event lies
+  /// in [from, from + span) — the caller guarantees wheel_count_ > 0.
+  [[nodiscard]] Cycle rescan_wheel_from(Cycle from) const noexcept;
+
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap fallback for far events
   std::vector<Slot> slots_;      ///< grows to the high-water mark, then stable
   std::uint32_t free_head_ = kNoSlot;
+
+  std::array<std::vector<Entry>, kWheelSpan> buckets_;
+  std::array<std::uint64_t, kOccWords> occ_{};  ///< bucket-occupancy bitmap
+  std::size_t wheel_count_ = 0;   ///< undrained entries across all buckets
+  Cycle wheel_next_ = kNeverCycle;  ///< earliest occupied wheel cycle
+  /// Drain cursor into the bucket currently firing. A partially drained
+  /// bucket is always the one at now_ (nothing else in the wheel can fire
+  /// before it empties, and same-cycle pushes append to it), so one
+  /// (cycle, pos) pair suffices; the bucket is cleared the moment the cursor
+  /// reaches its end.
+  Cycle drain_cycle_ = kNeverCycle;
+  std::size_t drain_pos_ = 0;
+
+  std::vector<WarpStepper> steppers_;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

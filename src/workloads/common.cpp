@@ -1,6 +1,7 @@
 #include "workloads/common.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace uvmsim {
@@ -14,12 +15,21 @@ void MapKernel::gen_task(std::uint64_t task, std::vector<Access>& out) const {
   const std::uint64_t last = std::min(lines_, first + opt_.lines_per_task);
   const std::uint64_t line_bytes = static_cast<std::uint64_t>(opt_.count) * kWarpAccessBytes;
   out.reserve(out.size() + (last - first) * ops_.size());
+  // Per-operand wrap capacity is line-invariant; hoist the divide out of the
+  // line loop (this generator feeds the dense kernel2 scans, one call per
+  // task on the simulation's critical path).
+  std::array<std::uint64_t, 8> wraps{};
+  const std::size_t nops = std::min<std::size_t>(ops_.size(), wraps.size());
+  for (std::size_t i = 0; i < nops; ++i) {
+    wraps[i] = std::max<std::uint64_t>(1, ops_[i].bytes / line_bytes);
+  }
   for (std::uint64_t line = first; line < last; ++line) {
     for (std::size_t i = 0; i < ops_.size(); ++i) {
       const Operand& op = ops_[i];
       // Offsets wrap modulo the operand's line capacity so smaller arrays
       // are revisited (and become hot) rather than overrun.
-      const std::uint64_t wrap_lines = std::max<std::uint64_t>(1, op.bytes / line_bytes);
+      const std::uint64_t wrap_lines =
+          i < nops ? wraps[i] : std::max<std::uint64_t>(1, op.bytes / line_bytes);
       const std::uint64_t op_line = (line >> op.stride_shift) % wrap_lines;
       const VirtAddr addr = op.base + op_line * line_bytes;
       std::uint32_t repeat = op.repeat;

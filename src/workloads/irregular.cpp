@@ -77,6 +77,15 @@ class ExpandKernel final : public Kernel {
     const GraphLayout& m = st_->mem;
     Rng rng = task_rng(st_->seed, wave_, task);
 
+    // Hoisted graph/layout pointers: the push_back calls below may (as far as
+    // the compiler can tell) alias anything, forcing a reload of offsets/
+    // bases per edge otherwise — and this generator runs once per task on the
+    // simulation's critical path.
+    const std::uint32_t* const offsets = g.offsets.data();
+    const std::uint32_t* const targets = g.targets.data();
+    const VirtAddr status_base = m.status.base;
+    const VirtAddr aux_base = m.aux.base;
+
     const std::size_t first = task * kNodesPerTask;
     const std::size_t last = std::min(wave.size(), first + kNodesPerTask);
     for (std::size_t i = first; i < last; ++i) {
@@ -89,20 +98,22 @@ class ExpandKernel final : public Kernel {
       out.push_back(Access{align_line(m.nodes.at(static_cast<std::uint64_t>(v) * 8)),
                            AccessType::kRead, 1, gap_});
       // Edge run: deg consecutive 8 B targets (sparse position, dense run).
-      const std::uint32_t deg = g.degree(v);
-      const std::uint64_t run_base = static_cast<std::uint64_t>(g.offsets[v]) * 8;
+      const std::uint32_t e_begin = offsets[v];
+      const std::uint32_t e_end = offsets[v + 1];
+      const std::uint32_t deg = e_end - e_begin;
+      const std::uint64_t run_base = static_cast<std::uint64_t>(e_begin) * 8;
       emit_run(out, align_line(m.edges.at(run_base)), static_cast<std::uint64_t>(deg) * 8);
       if (read_weights_) {
-        emit_run(out, align_line(m.weights.at(static_cast<std::uint64_t>(g.offsets[v]) * 4)),
+        emit_run(out, align_line(m.weights.at(static_cast<std::uint64_t>(e_begin) * 4)),
                  static_cast<std::uint64_t>(deg) * 4);
       }
       // Per-neighbour status probe; relaxations write status and aux.
-      for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
-        const std::uint64_t u = g.targets[e];
-        out.push_back(Access{align_line(m.status.at(u * 4)), AccessType::kRead, 1, gap_});
+      for (std::uint32_t e = e_begin; e < e_end; ++e) {
+        const std::uint64_t u = targets[e];
+        out.push_back(Access{align_line(status_base + u * 4), AccessType::kRead, 1, gap_});
         if (rng.chance(write_fraction_)) {
-          out.push_back(Access{align_line(m.status.at(u * 4)), AccessType::kWrite, 1, gap_});
-          out.push_back(Access{align_line(m.aux.at(u * 4)), AccessType::kWrite, 1, gap_});
+          out.push_back(Access{align_line(status_base + u * 4), AccessType::kWrite, 1, gap_});
+          out.push_back(Access{align_line(aux_base + u * 4), AccessType::kWrite, 1, gap_});
         }
       }
     }

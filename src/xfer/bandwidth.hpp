@@ -22,7 +22,15 @@ class BandwidthRegulator {
   /// Returns the cycle at which the last byte has crossed the channel.
   Cycle acquire(Cycle now, std::uint64_t bytes) noexcept {
     const double start = std::max(free_at_, static_cast<double>(now));
-    const double end = start + static_cast<double>(bytes) / bytes_per_cycle_;
+    // Memoize the occupancy quotient: acquire runs once per device-resident
+    // access and the request size repeats (warp transactions, block copies),
+    // so the FP divide almost always reuses the previous result. Identical
+    // operands give an identical IEEE quotient, so timing is unchanged.
+    if (bytes != memo_bytes_) {
+      memo_bytes_ = bytes;
+      memo_cost_ = static_cast<double>(bytes) / bytes_per_cycle_;
+    }
+    const double end = start + memo_cost_;
     free_at_ = end;
     total_bytes_ += bytes;
     busy_cycles_ += end - start;
@@ -42,6 +50,8 @@ class BandwidthRegulator {
   double free_at_ = 0.0;
   double busy_cycles_ = 0.0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t memo_bytes_ = 0;  ///< last request size (0 bytes costs 0.0)
+  double memo_cost_ = 0.0;        ///< memo_bytes_ / bytes_per_cycle_
 };
 
 }  // namespace uvmsim

@@ -106,7 +106,7 @@ TEST_F(AuditTest, CorruptBlockResidenceIsCaught) {
   migrate(0, 5);
   // Flip a block to device-resident behind the chunk aggregate's and the
   // device free-list's back.
-  table_->block(5).residence = Residence::kDevice;
+  table_->testonly_corrupt_residence(5, Residence::kDevice);
   InvariantAuditor aud = auditor();
   const AuditReport r = aud.audit_now(scope());
   EXPECT_FALSE(r.clean());
@@ -124,7 +124,7 @@ TEST_F(AuditTest, CorruptChunkAggregateIsCaught) {
 }
 
 TEST_F(AuditTest, DirtyHostBlockIsCaught) {
-  table_->block(3).dirty = true;  // dirty implies device residence
+  table_->testonly_corrupt_dirty(3, true);  // dirty implies device residence
   InvariantAuditor aud = auditor();
   const AuditReport r = aud.audit_now(scope());
   EXPECT_FALSE(r.clean());

@@ -133,5 +133,55 @@ TEST(GpuScheduling, L2AbsorbsRepeatsWithoutDriverTraffic) {
   EXPECT_EQ(rig.stats.replayed_accesses, 1u);
 }
 
+TEST(GpuScheduling, L2HitsStillConsumeIssueSlots) {
+  // The LSU issue slot is claimed before the TLB and L2 lookups, so accesses
+  // fully absorbed by an L2 hit still serialize at one issue per SM per
+  // cycle. 64 warps on one SM hammer a single cached line: plenty of warps
+  // to cover the 30-cycle hit latency, so the SM's issue port is the
+  // bottleneck and N all-hit accesses cannot finish in fewer than N cycles.
+  SimConfig cfg;
+  cfg.gpu.num_sms = 1;
+  cfg.gpu.warps_per_sm = 64;
+  cfg.gpu.l2.enabled = true;
+  Rig rig(cfg);
+  rig.driver->preload_all([](Cycle) {});
+  rig.queue.run();  // everything resident: no faults below
+
+  class OneLineKernel final : public Kernel {
+   public:
+    OneLineKernel(std::uint64_t tasks, std::uint64_t per_task)
+        : tasks_(tasks), per_task_(per_task) {}
+    [[nodiscard]] std::string name() const override { return "oneline"; }
+    [[nodiscard]] std::uint64_t num_tasks() const override { return tasks_; }
+    void gen_task(std::uint64_t, std::vector<Access>& out) const override {
+      for (std::uint64_t i = 0; i < per_task_; ++i) {
+        out.push_back(Access{0, AccessType::kRead, 1, 0});
+      }
+    }
+
+   private:
+    std::uint64_t tasks_, per_task_;
+  };
+
+  // Warm the line into L2 (this access is the run's only L2 miss).
+  OneLineKernel warmup(1, 1);
+  rig.gpu->launch(warmup, [] {});
+  rig.queue.run();
+
+  constexpr std::uint64_t kAccesses = 64 * 16;
+  OneLineKernel k(64, 16);
+  const Cycle start = rig.queue.now();
+  rig.gpu->launch(k, [] {});
+  rig.queue.run();
+  const Cycle elapsed = rig.queue.now() - start;
+
+  EXPECT_EQ(rig.stats.l2_misses, 1u);  // the warm-up access only
+  EXPECT_EQ(rig.stats.l2_hits, kAccesses);
+  // Lower bound: one issue slot per cycle. Upper bound: the issue port is
+  // the only bottleneck, so the run is issue-limited plus one latency tail.
+  EXPECT_GE(elapsed, kAccesses);
+  EXPECT_LE(elapsed, kAccesses + 2 * cfg.gpu.l2.hit_latency + 64);
+}
+
 }  // namespace
 }  // namespace uvmsim

@@ -98,9 +98,12 @@ TEST_F(BlockTableTest, ResidentBlocksOfChunk) {
   table_->mark_resident(2, 1);
   table_->mark_in_flight(9);
   table_->mark_resident(9, 1);
-  const auto blocks = table_->resident_blocks_of(0);
+  std::vector<BlockNum> blocks;
+  table_->for_each_resident_block(0, [&](BlockNum b) { blocks.push_back(b); });
   EXPECT_EQ(blocks, (std::vector<BlockNum>{2, 9}));
-  EXPECT_TRUE(table_->resident_blocks_of(1).empty());
+  blocks.clear();
+  table_->for_each_resident_block(1, [&](BlockNum b) { blocks.push_back(b); });
+  EXPECT_TRUE(blocks.empty());
 }
 
 TEST(BlockTablePartialChunk, FullyResidentUsesMappedCount) {

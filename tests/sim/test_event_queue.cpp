@@ -6,6 +6,9 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <queue>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace uvmsim {
@@ -189,6 +192,88 @@ TEST(EventQueue, ExecutedCountsAllEvents) {
   for (int i = 0; i < 5; ++i) q.schedule_at(static_cast<Cycle>(i), [] {});
   q.run();
   EXPECT_EQ(q.executed(), 5u);
+}
+
+// Randomized wheel ≡ heap equivalence. The queue routes events with
+// `when - now < kWheelSpan` through the timing wheel and everything farther
+// through the fallback heap; this property test drives both paths (plus the
+// warp-stepper ring) against a single reference model — a plain min-heap of
+// (when, seq) with seq mirroring the schedule-call order — and requires the
+// fired sequence to match the model's pop order exactly. Delays interleave
+// near (in-wheel), boundary (kWheelSpan +/- 1), far (heap, later walking
+// into the wheel's window as the clock advances) and past-clamped targets,
+// scheduled both up front and dynamically from inside firing events.
+struct WheelPropertyHarness {
+  using Key = std::pair<Cycle, std::uint64_t>;  // (when, schedule order)
+
+  EventQueue q;
+  std::mt19937_64 rng{0xC0FFEE};
+  std::uint64_t next_seq = 0;
+  std::uint64_t budget = 0;
+  std::uint32_t stepper = 0;
+  std::vector<Key> fired;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> model;
+
+  static void step_thunk(void* self, WarpId w) {
+    static_cast<WheelPropertyHarness*>(self)->on_fire(w);
+  }
+
+  void on_fire(std::uint64_t seq) {
+    fired.emplace_back(q.now(), seq);
+    const std::uint64_t spawn = rng() % 3;  // 0..2 replacements per firing
+    for (std::uint64_t i = 0; i < spawn && budget > 0; ++i) schedule_random();
+  }
+
+  void schedule_random() {
+    --budget;
+    Cycle when;
+    switch (rng() % 8) {
+      case 0: {  // "past": a target before now, clamped to now by the caller
+        // (the GPU model's finish_access pattern: `next < now ? now : next`)
+        const Cycle target = q.now() - std::min<Cycle>(q.now(), rng() % 50);
+        when = target < q.now() ? q.now() : target;
+        break;
+      }
+      case 1:  // wheel/heap boundary
+        when = q.now() + EventQueue::kWheelSpan - 1 + rng() % 3;
+        break;
+      case 2:
+      case 3:  // far: heap entries that later enter the wheel's window
+        when = q.now() + rng() % (3 * EventQueue::kWheelSpan);
+        break;
+      default:  // near: dense in-wheel traffic
+        when = q.now() + rng() % 100;
+        break;
+    }
+    const std::uint64_t seq = next_seq++;
+    model.emplace(when, seq);
+    if (rng() % 2 == 0) {
+      q.schedule_warp_at(when, stepper, static_cast<WarpId>(seq));
+    } else {
+      q.schedule_at(when, [this, seq] { on_fire(seq); });
+    }
+  }
+};
+
+TEST(EventQueueProperty, TimingWheelMatchesHeapPopOrder) {
+  WheelPropertyHarness h;
+  h.stepper = h.q.register_warp_stepper(&WheelPropertyHarness::step_thunk, &h);
+  h.budget = 20000;
+  for (int i = 0; i < 64 && h.budget > 0; ++i) h.schedule_random();
+  h.q.run();
+
+  ASSERT_EQ(h.fired.size(), h.next_seq);
+  for (std::size_t i = 0; i < h.fired.size(); ++i) {
+    ASSERT_FALSE(h.model.empty());
+    EXPECT_EQ(h.fired[i], h.model.top()) << "divergence at pop " << i;
+    if (i > 0) {
+      EXPECT_GE(h.fired[i].first, h.fired[i - 1].first)
+          << "clock ran backwards at pop " << i;
+    }
+    h.model.pop();
+  }
+  EXPECT_TRUE(h.model.empty());
+  EXPECT_EQ(h.q.executed(), h.next_seq);
 }
 
 TEST(EventQueue, ClockDoesNotAdvancePastLastEvent) {
