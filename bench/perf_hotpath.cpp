@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -32,6 +33,13 @@
 // two victim-selection implementations).
 #if __has_include("mem/eviction_index.hpp")
 #define UVMSIM_HAS_EVICTION_INDEX 1
+#endif
+
+// The binary trace subsystem (record/replay) is also newer than the
+// baseline checkout; its round-trip lane is gated the same way.
+#if __has_include("trace/trace_binary.hpp")
+#include "trace/trace_binary.hpp"
+#define UVMSIM_HAS_TRACE_BINARY 1
 #endif
 
 namespace {
@@ -313,6 +321,71 @@ StormRow bench_tlb_storm(std::uint64_t lookups) {
   return row;
 }
 
+#ifdef UVMSIM_HAS_TRACE_BINARY
+struct TraceRow {
+  std::uint64_t records = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t peak_decoded_bytes = 0;
+  double record_wall_ms = 0.0;
+  double replay_wall_ms = 0.0;
+  bool stats_equal = false;
+};
+
+/// Record→replay round trip of an oversubscribed run: recording overhead on
+/// top of the bare sim, replay throughput from the streaming reader, and the
+/// reader's bounded decoded footprint (peak_decoded_bytes ≪ file size for a
+/// chunked trace — the RSS guarantee for million-access captures).
+TraceRow bench_trace_roundtrip(double scale) {
+  const std::string path = "perf_hotpath_trace.trb";
+  TraceRow row;
+  RunRequest req;
+  req.workload = "ra";
+  req.params.scale = scale;
+  req.config = eviction_heavy_cfg();
+  req.oversub = 1.3333;
+
+  RunResult recorded;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    TraceWriter writer(os, {req.workload, req.params.seed, 0});
+    SimConfig cfg = req.config;
+    cfg.collect_traces = true;
+    RunRequest rec = req;
+    rec.config = cfg;
+    RunOptions opts;
+    opts.trace_sink = &writer;
+    const auto t0 = Clock::now();
+    recorded = run_request(rec, opts);
+    writer.finalize();
+    row.record_wall_ms = ms_since(t0);
+    row.records = writer.records_written();
+  }
+  {
+    RunRequest rep = req;
+    rep.workload = "replay";
+    rep.params.trace_file = path;
+    const auto t0 = Clock::now();
+    const RunResult replayed = run_request(rep);
+    row.replay_wall_ms = ms_since(t0);
+    row.stats_equal = replayed.stats == recorded.stats;
+  }
+  {
+    TraceReader reader(path);
+    row.file_bytes = reader.file_bytes();
+    std::vector<Access> task;
+    for (std::uint32_t l = 0; l < reader.meta().launches.size(); ++l) {
+      for (std::uint64_t t = 0; t < reader.meta().launches[l].num_tasks; ++t) {
+        task.clear();
+        reader.read_task(l, t, task);
+      }
+    }
+    row.peak_decoded_bytes = reader.peak_decoded_bytes();
+  }
+  std::remove(path.c_str());
+  return row;
+}
+#endif  // UVMSIM_HAS_TRACE_BINARY
+
 /// One attribution lane: a measured per-op cost scaled by the op count the
 /// sim runs actually performed, expressed as a share of sim_wall_ms.
 struct Lane {
@@ -359,6 +432,9 @@ int main(int argc, char** argv) {
 #endif
   const StormRow driver = bench_driver_storm(storm_accesses);
   const StormRow tlb = bench_tlb_storm(tlb_lookups);
+#ifdef UVMSIM_HAS_TRACE_BINARY
+  const TraceRow trace = bench_trace_roundtrip(scale);
+#endif
 
   double sim_wall_ms = 0.0;
   std::uint64_t faults = 0;
@@ -458,6 +534,16 @@ int main(int argc, char** argv) {
   const double other_ms = sim_wall_ms > attributed_ms ? sim_wall_ms - attributed_ms : 0.0;
   std::printf("    \"other\": {\"est_ms\": %.2f, \"est_share\": %.3f}\n  },\n", other_ms,
               sim_wall_ms > 0 ? other_ms / sim_wall_ms : 0.0);
+#ifdef UVMSIM_HAS_TRACE_BINARY
+  std::printf("  \"trace_roundtrip\": {\"records\": %llu, \"file_bytes\": %llu, "
+              "\"peak_decoded_bytes\": %llu, \"record_wall_ms\": %.2f, "
+              "\"replay_wall_ms\": %.2f, \"stats_equal\": %s},\n",
+              static_cast<unsigned long long>(trace.records),
+              static_cast<unsigned long long>(trace.file_bytes),
+              static_cast<unsigned long long>(trace.peak_decoded_bytes),
+              trace.record_wall_ms, trace.replay_wall_ms,
+              trace.stats_equal ? "true" : "false");
+#endif
   std::printf("  \"peak_rss_kb\": %ld\n}\n", peak_rss_kb());
   return 0;
 }

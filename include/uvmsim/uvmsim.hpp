@@ -47,8 +47,10 @@
 #include "sim/thread_pool.hpp"
 #include "sim/types.hpp"
 #include "trace/replay.hpp"
+#include "trace/replay_workload.hpp"
 #include "trace/timeline.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_binary.hpp"
 #include "workloads/graph_gen.hpp"
 #include "workloads/input_cache.hpp"
 #include "workloads/workload.hpp"

@@ -139,6 +139,37 @@ if [[ $rc -ne 2 ]]; then
   echo "uvmsim-fuzz accepted an unknown --policy (rc=$rc, want 2)"; exit 1
 fi
 
+# Record/replay smoke (docs/TRACES.md): an oversubscribed bfs run recorded
+# to a binary UVMTRB1 trace and replayed under the same configuration must
+# report byte-identical JSON; the converter must round-trip a fuzz-corpus
+# sidecar through the binary format with the content hash verifying; a
+# trace-seeded fuzz campaign must stay divergence-free; and both CLIs must
+# reject garbage trace files with exit 2.
+echo "==> record/replay smoke (UVMTRB1 round trip)"
+build/tools/uvmsim --workload bfs --policy adaptive --oversub 1.3333 \
+    --scale 0.1 --record /tmp/uvmsim_ci.trb --json > /tmp/uvmsim_ci_rec.json
+build/tools/uvmsim --replay /tmp/uvmsim_ci.trb --policy adaptive \
+    --oversub 1.3333 --json > /tmp/uvmsim_ci_rep.json
+cmp /tmp/uvmsim_ci_rec.json /tmp/uvmsim_ci_rep.json || {
+  echo "replayed stats JSON differs from the recorded run"; exit 1; }
+build/tools/uvmsim-trace verify /tmp/uvmsim_ci.trb > /dev/null
+corpus_trc=$(ls tests/data/fuzz_corpus/*.trc | head -1)
+build/tools/uvmsim-trace convert "$corpus_trc" /tmp/uvmsim_ci_corpus.trb
+build/tools/uvmsim-trace verify /tmp/uvmsim_ci_corpus.trb > /dev/null
+build/tools/uvmsim-trace convert /tmp/uvmsim_ci_corpus.trb /tmp/uvmsim_ci_corpus.trc
+build/tools/uvmsim-fuzz --trace /tmp/uvmsim_ci.trb --iters 8 --quiet
+echo "garbage" > /tmp/uvmsim_ci_garbage.trb
+rc=0
+build/tools/uvmsim --replay /tmp/uvmsim_ci_garbage.trb > /dev/null 2>&1 || rc=$?
+if [[ $rc -ne 2 ]]; then
+  echo "uvmsim --replay accepted a garbage trace (rc=$rc, want 2)"; exit 1
+fi
+rc=0
+build/tools/uvmsim-trace verify /tmp/uvmsim_ci_garbage.trb > /dev/null 2>&1 || rc=$?
+if [[ $rc -ne 2 ]]; then
+  echo "uvmsim-trace verify accepted a garbage trace (rc=$rc, want 2)"; exit 1
+fi
+
 # Adaptive-policy fuzz smoke: force every case onto an online-adaptive
 # policy; the oracle runs in skip-decision mode (decisions adopted from the
 # driver, memory-state invariants still verified) and must stay clean.

@@ -87,7 +87,7 @@ Corpus load_corpus(const std::string& root, const std::vector<std::string>& root
 
   // Non-C++ inputs cross-checked by rules (missing files stay absent — the
   // rule that needs one reports that itself).
-  for (const char* extra : {"docs/POLICIES.md"}) {
+  for (const char* extra : {"docs/POLICIES.md", "docs/WORKLOADS.md"}) {
     const fs::path p = base / extra;
     if (fs::is_regular_file(p)) corpus.extra_files.emplace_back(extra, read_whole_file(p));
   }

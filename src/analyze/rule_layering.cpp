@@ -19,8 +19,8 @@
 //   obs-hooks   observation interfaces the driver fires: TraceSink, auditor
 //   obs         observation-only sinks: metric registry, recorder, chrome trace
 //   prefetch    prefetchers
-//   workloads   workload generators
 //   trace       trace record/replay + timeline (concrete sinks)
+//   workloads   workload generators (+ registry; may wrap trace replay)
 //   core        UvmDriver: the fault-servicing pipeline
 //   gpu         SM / TLB / L2 model (raises faults into core)
 //   engine      Simulator facade + RunRequest batch runner + config parsing
@@ -78,6 +78,10 @@ constexpr ModuleOverride kOverrides[] = {
     // The peer directory is passive residency bookkeeping shared between
     // drivers — mem-grade state, not multi-GPU orchestration.
     {"src/multigpu/peer_directory.hpp", "mem"},
+    // The Access/Kernel/Workload vocabulary is interface-grade: the trace
+    // sink hooks speak it (on_task carries Access records), so it sits with
+    // the passive-data layer rather than the generator implementations.
+    {"src/workloads/workload.hpp", "mem"},
     // The Simulator facade + batch engine sit above core and gpu.
     {"src/core/simulator.hpp", "engine"},
     {"src/core/simulator.cpp", "engine"},
@@ -103,11 +107,12 @@ const std::vector<AllowedEdges>& allowed_table() {
       {"obs-hooks", {"mem", "policy", "xfer", "base"}},
       {"obs", {"obs-hooks", "base"}},
       {"prefetch", {"mem", "base"}},
-      {"workloads", {"mem", "base"}},
-      {"trace", {"obs-hooks", "workloads", "mem", "base"}},
+      {"workloads", {"trace", "mem", "base"}},
+      {"trace", {"obs-hooks", "mem", "base"}},
       {"core", {"obs-hooks", "mem", "mitigation", "policy", "prefetch", "xfer", "base"}},
-      {"gpu", {"core", "workloads", "base"}},
-      {"engine", {"core", "gpu", "trace", "obs", "obs-hooks", "workloads", "policy", "base"}},
+      {"gpu", {"core", "workloads", "obs-hooks", "mem", "base"}},
+      {"engine",
+       {"core", "gpu", "trace", "obs", "obs-hooks", "workloads", "policy", "mem", "base"}},
       {"multigpu", {"engine", "core", "gpu", "workloads", "mem", "xfer", "base"}},
       {"report", {"engine", "obs", "base"}},
       {"check", {"engine", "mem", "obs", "obs-hooks", "policy", "trace", "base"}},

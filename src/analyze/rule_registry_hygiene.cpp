@@ -8,6 +8,9 @@
 //   * Every policy slug registered in src/policy/ must have a backticked
 //     entry in docs/POLICIES.md — an undocumented policy is invisible to
 //     anyone reading the catalog, and a documented-but-removed slug is a lie.
+//   * Every workload slug in the factory table of src/workloads/registry.cpp
+//     must have a backticked entry in docs/WORKLOADS.md, for the same
+//     reason: `uvmsim --workload X` is only discoverable through that doc.
 #include <map>
 #include <memory>
 #include <set>
@@ -25,6 +28,8 @@ namespace {
 constexpr std::string_view kStatsPath = "src/sim/stats.hpp";
 constexpr std::string_view kMetricsPath = "src/obs/metrics.def";
 constexpr std::string_view kPoliciesDoc = "docs/POLICIES.md";
+constexpr std::string_view kWorkloadRegistry = "src/workloads/registry.cpp";
+constexpr std::string_view kWorkloadsDoc = "docs/WORKLOADS.md";
 
 /// Numeric fields of struct SimStats: `uint64_t name = ...;` / `Cycle name;`
 /// at depth 1 of the struct body. Non-numeric members (std::string
@@ -76,12 +81,13 @@ class RegistryHygieneRule final : public Rule {
   [[nodiscard]] std::string_view name() const noexcept override { return "registry-hygiene"; }
   [[nodiscard]] std::string_view description() const noexcept override {
     return "SimStats fields <-> obs/metrics.def entries; policy slugs documented in "
-           "docs/POLICIES.md";
+           "docs/POLICIES.md; workload slugs documented in docs/WORKLOADS.md";
   }
 
   void run(const Corpus& corpus, std::vector<Finding>& out) const override {
     check_metric_registry(corpus, out);
     check_policy_docs(corpus, out);
+    check_workload_docs(corpus, out);
   }
 
  private:
@@ -158,6 +164,41 @@ class RegistryHygieneRule final : public Rule {
       if (doc->find("`" + slug + "`") == std::string::npos) {
         add(where.first, where.second,
             "policy slug '" + slug + "' has no `" + slug + "` entry in docs/POLICIES.md",
+            out);
+      }
+    }
+  }
+
+  void check_workload_docs(const Corpus& corpus, std::vector<Finding>& out) const {
+    // Workload slugs are the string keys of the factory table in
+    // src/workloads/registry.cpp: `{"slug", make_xxx}` initializer entries.
+    const SourceFile* registry = corpus.find(kWorkloadRegistry);
+    if (registry == nullptr) return;  // partial corpora (fixtures)
+
+    std::map<std::string, int> slugs;  // slug -> line
+    const std::vector<Token>& toks = registry->tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].text != "{" || toks[i + 1].kind != TokenKind::kString ||
+          toks[i + 2].text != ",")
+        continue;
+      if (toks[i + 3].kind == TokenKind::kIdentifier &&
+          starts_with(toks[i + 3].text, "make_")) {
+        slugs.try_emplace(toks[i + 1].text, toks[i + 1].line);
+      }
+    }
+    if (slugs.empty()) return;  // table refactored away; nothing to check
+
+    const std::string* doc = corpus.extra(kWorkloadsDoc);
+    if (doc == nullptr) {
+      add(std::string(kWorkloadRegistry), slugs.begin()->second,
+          "workload slugs are registered but docs/WORKLOADS.md is missing from the repo",
+          out);
+      return;
+    }
+    for (const auto& [slug, line] : slugs) {
+      if (doc->find("`" + slug + "`") == std::string::npos) {
+        add(std::string(kWorkloadRegistry), line,
+            "workload slug '" + slug + "' has no `" + slug + "` entry in docs/WORKLOADS.md",
             out);
       }
     }

@@ -10,6 +10,7 @@
 #include "policy/policy_registry.hpp"
 #include "sim/config_parse.hpp"
 #include "sim/runner.hpp"
+#include "trace/trace_binary.hpp"
 
 namespace uvmsim {
 namespace {
@@ -237,20 +238,40 @@ FuzzReport run_fuzz(const FuzzOptions& o) {
   cases.reserve(o.iterations);
   std::uint64_t sm = o.seed ^ 0xa5a5f02ddeadbeefull;
   Rng mut_rng(splitmix64(sm));
-  for (std::uint64_t i = 0; i < o.iterations; ++i) {
-    if (o.mutate_every != 0 && i > 0 && (i + 1) % o.mutate_every == 0) {
-      const std::uint64_t j = mut_rng.below(i);
-      FuzzCase fc = cases[j];
-      fc.trace = std::make_shared<RecordedTrace>(mutate_trace(*cases[j].trace, mut_rng));
-      fc.label += "+mut";
+  if (!o.trace_path.empty()) {
+    // Trace-seeded campaign: the captured trace is the whole corpus. Case 0
+    // replays it verbatim; later cases replay fresh mutants, rotating over
+    // the four paper policies so the oracle exercises every decision path.
+    const auto base = std::make_shared<RecordedTrace>(load_any_trace(o.trace_path));
+    static constexpr const char* kPaperSlugs[] = {"baseline", "always", "oversub", "adaptive"};
+    for (std::uint64_t i = 0; i < o.iterations; ++i) {
+      FuzzCase fc;
+      fc.seed = o.seed + i;
+      fc.config.mem.oversubscription = 1.3333;
+      fc.config.mem.eviction = EvictionKind::kLfu;
+      (void)apply_policy_name(fc.config.policy, kPaperSlugs[i % 4]);
+      fc.label = "trace:" + o.trace_path + (i == 0 ? "" : "+mut");
+      fc.trace = i == 0 ? base
+                        : std::make_shared<RecordedTrace>(mutate_trace(*base, mut_rng));
       cases.push_back(std::move(fc));
-    } else {
-      cases.push_back(generate_case(o.seed, i, o.gen));
     }
-    if (!o.policy_slug.empty()) {
-      // Pin every case (mutated ones included) to the requested policy; an
-      // unregistered slug is a caller bug, not a fuzzing finding.
-      FuzzCase& fc = cases.back();
+  } else {
+    for (std::uint64_t i = 0; i < o.iterations; ++i) {
+      if (o.mutate_every != 0 && i > 0 && (i + 1) % o.mutate_every == 0) {
+        const std::uint64_t j = mut_rng.below(i);
+        FuzzCase fc = cases[j];
+        fc.trace = std::make_shared<RecordedTrace>(mutate_trace(*cases[j].trace, mut_rng));
+        fc.label += "+mut";
+        cases.push_back(std::move(fc));
+      } else {
+        cases.push_back(generate_case(o.seed, i, o.gen));
+      }
+    }
+  }
+  if (!o.policy_slug.empty()) {
+    // Pin every case (mutated ones included) to the requested policy; an
+    // unregistered slug is a caller bug, not a fuzzing finding.
+    for (FuzzCase& fc : cases) {
       if (!apply_policy_name(fc.config.policy, o.policy_slug))
         throw std::invalid_argument("run_fuzz: unknown policy '" + o.policy_slug +
                                     "' (registered: " + registered_policy_names() + ")");

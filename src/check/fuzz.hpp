@@ -33,6 +33,12 @@ struct FuzzOptions {
   /// the generator's per-case choice). Non-paper slugs put the oracle in
   /// skip-decision mode (see RefModel).
   std::string policy_slug;
+  /// Seed the whole campaign from a captured trace file (UVMTRB1 or legacy
+  /// UVMTRC1) instead of generated cases: case 0 replays the trace exactly,
+  /// every later case replays a fresh mutant of it. Cases rotate through the
+  /// four paper policies unless `policy_slug` pins one. Throws TraceError on
+  /// a malformed file.
+  std::string trace_path;
   StreamGenOptions gen;
   /// Progress callback after each batch entry completes (serialized).
   std::function<void(std::uint64_t done, std::uint64_t total)> progress;

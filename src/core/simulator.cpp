@@ -28,7 +28,14 @@ RunResult Simulator::run(Workload& workload, const RunOptions& opts) {
   UvmDriver driver(cfg_, space, capacity, queue, stats);
   GpuModel gpu(cfg_, queue, driver, stats);
   TraceSink* trace = opts.trace_sink;
-  if (cfg_.collect_traces && trace != nullptr) driver.set_trace_sink(trace);
+  if (cfg_.collect_traces && trace != nullptr) {
+    driver.set_trace_sink(trace);
+    gpu.set_trace_sink(trace);  // task hand-out stream (trace recording)
+  }
+  // Layout metadata is reported like kernel boundaries: whenever a sink is
+  // attached, independent of collect_traces (it is not part of the per-access
+  // observation stream the flag gates).
+  if (trace != nullptr) trace->on_layout(space);
 
   const auto launches = workload.schedule();
   if (launches.empty()) throw std::invalid_argument("Simulator: empty launch schedule");

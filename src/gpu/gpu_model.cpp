@@ -33,7 +33,10 @@ bool GpuModel::refill(WarpCtx& warp) {
   warp.pos = 0;
   while (next_task_ < num_tasks_) {
     kernel_->gen_task(next_task_++, warp.buf);
-    if (!warp.buf.empty()) return true;
+    if (!warp.buf.empty()) {
+      if (trace_ != nullptr) trace_->on_task(next_task_ - 1, warp.buf);
+      return true;
+    }
   }
   return false;
 }

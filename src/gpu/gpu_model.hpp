@@ -18,6 +18,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "trace/trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace uvmsim {
@@ -32,6 +33,12 @@ class GpuModel {
   void launch(const Kernel& kernel, std::function<void()> on_complete);
 
   [[nodiscard]] bool busy() const noexcept { return active_warps_ > 0; }
+
+  /// Attach an observation sink: TraceSink::on_task fires for every
+  /// non-empty task stream at the moment a warp claims it (hand-out order —
+  /// what a recorder must preserve for bit-identical replay). Pure
+  /// observation; task scheduling never changes based on an attached sink.
+  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
 
  private:
   struct WarpCtx {
@@ -62,6 +69,7 @@ class GpuModel {
   std::vector<Tlb> tlbs_;
   std::unique_ptr<L2Cache> l2_;  ///< present only when the L2 model is on
 
+  TraceSink* trace_ = nullptr;
   const Kernel* kernel_ = nullptr;
   std::function<void()> on_complete_;
   std::uint64_t next_task_ = 0;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "policy/policy_registry.hpp"
+#include "trace/trace_binary.hpp"
 
 namespace uvmsim {
 
@@ -362,6 +363,13 @@ const std::vector<std::string>& config_keys() {
     return v;
   }();
   return keys;
+}
+
+std::uint64_t config_digest(const SimConfig& cfg) {
+  SimConfig canonical = cfg;
+  canonical.collect_traces = false;  // sinks observe; they do not steer
+  const std::string text = to_config_string(canonical);
+  return fnv1a64(text.data(), text.size());
 }
 
 }  // namespace uvmsim

@@ -13,6 +13,7 @@
 // std::invalid_argument with the offending key in the message.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -39,5 +40,12 @@ std::size_t load_config_stream(SimConfig& cfg, std::istream& is);
 /// to reproduce it exactly (experiment provenance). Covers every key in
 /// config_keys().
 [[nodiscard]] std::string to_config_string(const SimConfig& cfg);
+
+/// Stable 64-bit digest of a configuration, stamped into UVMTRB1 trace
+/// headers so replay can flag config drift. Computed over the canonical
+/// to_config_string() form with `collect_traces` normalized to false —
+/// recording attaches a sink (pure observation), so a replay run without
+/// one is still driven by an identical configuration.
+[[nodiscard]] std::uint64_t config_digest(const SimConfig& cfg);
 
 }  // namespace uvmsim

@@ -52,6 +52,9 @@ class TraceRecorder final : public TraceSink {
   void on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_t count,
                  bool device_resident) override;
   void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override;
+  /// The simulator reports the built layout through the sink now, so a
+  /// recording run no longer needs the explicit capture_layout() call.
+  void on_layout(const AddressSpace& space) override { capture_layout(space); }
 
   [[nodiscard]] const RecordedTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] RecordedTrace take() && noexcept { return std::move(trace_); }

@@ -10,6 +10,7 @@
 
 #include "mem/address_space.hpp"
 #include "sim/types.hpp"
+#include "workloads/workload.hpp"
 
 namespace uvmsim {
 
@@ -29,6 +30,16 @@ class TraceSink {
                          bool device_resident) = 0;
   /// Called by the simulator before each kernel launch.
   virtual void on_kernel_begin(std::uint32_t launch_index, const std::string& name) = 0;
+
+  /// The allocation layout, reported by the simulator once the workload has
+  /// built its address space (after advice hooks ran), before any launch.
+  virtual void on_layout(const AddressSpace& /*space*/) {}
+  /// One non-empty task access stream, reported by the GPU model at the
+  /// moment a warp claims the task — i.e. in exact hand-out order. Because
+  /// warps claim tasks dynamically, this order (not the task ids) is what a
+  /// recorder must preserve to replay a run bit-identically. `task` is the
+  /// kernel-assigned id; empty tasks are skipped and never reported.
+  virtual void on_task(std::uint64_t /*task*/, const std::vector<Access>& /*accesses*/) {}
 
   /// Policy consultation for a host-resident block: fires immediately after
   /// on_access() for the same access, carrying the counter snapshot the
@@ -138,6 +149,12 @@ class MultiSink final : public TraceSink {
   }
   void on_kernel_begin(std::uint32_t launch_index, const std::string& name) override {
     for (auto* s : sinks_) s->on_kernel_begin(launch_index, name);
+  }
+  void on_layout(const AddressSpace& space) override {
+    for (auto* s : sinks_) s->on_layout(space);
+  }
+  void on_task(std::uint64_t task, const std::vector<Access>& accesses) override {
+    for (auto* s : sinks_) s->on_task(task, accesses);
   }
   void on_decision(Cycle now, VirtAddr addr, AccessType type, std::uint32_t post_count,
                    std::uint32_t round_trips, MigrationDecision decision,

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "trace/replay_workload.hpp"
 #include "workloads/workload.hpp"
 
 namespace uvmsim {
@@ -19,6 +20,11 @@ const std::unordered_map<std::string, Factory>& factories() {
       {"ra", make_ra},             {"sssp", make_sssp}, {"spmv", make_spmv},
       {"pagerank", make_pagerank}, {"kmeans", make_kmeans},
       {"histogram", make_histogram},
+      // Workload zoo (record/replay corpus candidates).
+      {"pchase", make_pchase},     {"hashjoin", make_hashjoin},
+      {"pipeline", make_pipeline}, {"nbody", make_nbody},
+      // Trace replay: drives WorkloadParams::trace_file back through the sim.
+      {"replay", make_replay_workload},
   };
   return table;
 }
@@ -46,6 +52,23 @@ const std::vector<std::string>& extra_workload_names() {
       "kmeans", "histogram",  // regular-ish
       "spmv", "pagerank",     // irregular
   };
+  return names;
+}
+
+const std::vector<std::string>& zoo_workload_names() {
+  static const std::vector<std::string> names{
+      "pchase", "hashjoin",   // irregular
+      "pipeline", "nbody",    // regular
+  };
+  return names;
+}
+
+std::vector<std::string> all_generator_workload_names() {
+  std::vector<std::string> names = workload_names();
+  const auto& extra = extra_workload_names();
+  const auto& zoo = zoo_workload_names();
+  names.insert(names.end(), extra.begin(), extra.end());
+  names.insert(names.end(), zoo.begin(), zoo.end());
   return names;
 }
 

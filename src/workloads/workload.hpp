@@ -62,6 +62,9 @@ struct WorkloadParams {
   /// Rodinia-style random graphs) or "road" (high diameter, tiny frontiers,
   /// Lonestar road-network style). Ignored by non-graph workloads.
   std::string graph = "powerlaw";
+  /// Trace file driving the "replay" workload (UVMTRB1 or legacy UVMTRC1,
+  /// sniffed by magic). Ignored by every generator workload.
+  std::string trace_file;
 };
 
 /// Instantiate a workload by benchmark name (backprop, fdtd, hotspot, srad,
@@ -75,5 +78,15 @@ struct WorkloadParams {
 /// Additional workloads not evaluated in the paper (generalization suite):
 /// kmeans, histogram (regular-ish), spmv, pagerank (irregular).
 [[nodiscard]] const std::vector<std::string>& extra_workload_names();
+
+/// The workload zoo (record/replay corpus candidates beyond the paper and
+/// generalization sets): pchase, hashjoin (irregular), pipeline, nbody
+/// (regular). Registered like every other slug; excluded from the paper
+/// sweep grid so golden captures stay stable.
+[[nodiscard]] const std::vector<std::string>& zoo_workload_names();
+
+/// Every registered generator slug: workload_names() + extra + zoo, in that
+/// order. Excludes "replay" (it needs WorkloadParams::trace_file).
+[[nodiscard]] std::vector<std::string> all_generator_workload_names();
 
 }  // namespace uvmsim

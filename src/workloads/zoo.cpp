@@ -1,0 +1,351 @@
+// Workload zoo: four extra generator families registered for the trace
+// record/replay corpus. They deliberately stress access shapes the paper's
+// benchmarks and the generalization suite do not cover:
+//
+//   pchase    — pointer chasing over a permuted node table: long dependent
+//               chains of single-line random reads (latency-bound, zero
+//               spatial locality). Irregular.
+//   hashjoin  — hash-join probe: sequentially streamed probe keys hashed
+//               into a large bucket table (random RO lookups, skewed toward
+//               hot buckets) with sparse match writes. Irregular.
+//   pipeline  — decode/filter/encode streaming pipeline: three chained
+//               map stages over a cold stream with a small hot LUT and a
+//               re-used intermediate scratch buffer. Regular.
+//   nbody     — tiled all-pairs force computation: the body array is
+//               re-streamed once per tile (cyclic cold reuse) against hot
+//               accumulators, followed by a sequential integrate pass.
+//               Regular.
+#include <algorithm>
+#include <memory>
+
+#include "workloads/common.hpp"
+#include "workloads/registry.hpp"
+
+namespace uvmsim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// pchase
+// ---------------------------------------------------------------------------
+
+struct PchaseState {
+  Region nodes;   ///< permuted node table — cold, random single-line reads
+  Region heads;   ///< chain head table — small, hot
+  std::uint64_t num_nodes = 0;
+  std::uint64_t mul = 1;   ///< odd multiplier of the affine permutation
+  std::uint64_t add = 0;   ///< offset of the affine permutation
+  std::uint64_t seed = 0;
+  std::uint16_t gap = 0;
+};
+
+class PchaseKernel final : public Kernel {
+ public:
+  PchaseKernel(std::shared_ptr<const PchaseState> st, std::uint32_t launch)
+      : st_(std::move(st)), launch_(launch) {}
+  [[nodiscard]] std::string name() const override { return "pchase_walk"; }
+  [[nodiscard]] std::uint64_t num_tasks() const override {
+    return div_ceil(st_->num_nodes, kHopsPerTask);
+  }
+
+  void gen_task(std::uint64_t task, std::vector<Access>& out) const override {
+    Rng rng = task_rng(st_->seed, launch_, task);
+    // Read the chain head, then follow `kHopsPerTask` dependent hops through
+    // the affine permutation cur -> (mul*cur + add) mod N. Each hop is one
+    // isolated 128 B read — the canonical worst case for prefetching.
+    out.push_back(Access{align_line(st_->heads.at((task % st_->heads.lines(kWarpAccessBytes)) *
+                                                  kWarpAccessBytes)),
+                         AccessType::kRead, 1, st_->gap});
+    std::uint64_t cur = rng.below(st_->num_nodes);
+    for (std::uint64_t hop = 0; hop < kHopsPerTask; ++hop) {
+      cur = (st_->mul * cur + st_->add) % st_->num_nodes;
+      out.push_back(Access{align_line(st_->nodes.at(cur * kNodeBytes)), AccessType::kRead, 1,
+                           st_->gap});
+    }
+    // Publish the chain tail back to the head table (read-modify-write).
+    const VirtAddr head = align_line(
+        st_->heads.at((task % st_->heads.lines(kWarpAccessBytes)) * kWarpAccessBytes));
+    out.push_back(Access{head, AccessType::kWrite, 1, st_->gap});
+  }
+
+ private:
+  static constexpr std::uint64_t kHopsPerTask = 96;
+  static constexpr std::uint64_t kNodeBytes = 64;
+
+  std::shared_ptr<const PchaseState> st_;
+  std::uint32_t launch_;
+};
+
+class PchaseWorkload final : public Workload {
+ public:
+  explicit PchaseWorkload(WorkloadParams p) : p_(p) {
+    if (p_.iterations == 0) p_.iterations = 2;
+  }
+  [[nodiscard]] std::string name() const override { return "pchase"; }
+  [[nodiscard]] bool irregular() const override { return true; }
+
+  void build(AddressSpace& space) override {
+    st_ = std::make_shared<PchaseState>();
+    st_->nodes = make_region(space, "nodes", scaled_bytes(40, p_.scale));
+    st_->heads = make_region(space, "chain_heads", scaled_bytes(0.5, p_.scale));
+    st_->num_nodes = st_->nodes.bytes / 64;
+    // Any odd multiplier is a bijection mod a power-of-two node count; the
+    // region is block-rounded, so num_nodes is a power-of-two multiple of
+    // 1024 and the golden-ratio odd constant below permutes it.
+    st_->mul = 0x9e3779b97f4a7c15ull | 1ull;
+    std::uint64_t s = p_.seed + 23;
+    st_->add = splitmix64(s) | 1ull;
+    st_->seed = p_.seed + 23;
+    st_->gap = 900;  // dependent loads: nothing to overlap with
+  }
+
+  [[nodiscard]] std::vector<std::shared_ptr<const Kernel>> schedule() const override {
+    std::vector<std::shared_ptr<const Kernel>> seq;
+    for (std::uint32_t i = 0; i < p_.iterations; ++i) {
+      seq.push_back(std::make_shared<PchaseKernel>(st_, i));
+    }
+    return seq;
+  }
+
+ private:
+  WorkloadParams p_;
+  std::shared_ptr<PchaseState> st_;
+};
+
+// ---------------------------------------------------------------------------
+// hashjoin
+// ---------------------------------------------------------------------------
+
+struct HashjoinState {
+  Region keys;     ///< probe keys — cold, streamed once per launch
+  Region buckets;  ///< hash table — random RO lookups, skewed
+  Region matches;  ///< join output — sparse sequential writes
+  std::uint64_t key_lines = 0;
+  std::uint64_t bucket_lines = 0;
+  std::uint64_t hot_lines = 0;  ///< skew target: first `hot_lines` buckets
+  std::uint64_t seed = 0;
+  std::uint16_t gap = 0;
+};
+
+class HashjoinKernel final : public Kernel {
+ public:
+  HashjoinKernel(std::shared_ptr<const HashjoinState> st, std::uint32_t launch)
+      : st_(std::move(st)), launch_(launch) {}
+  [[nodiscard]] std::string name() const override { return "hashjoin_probe"; }
+  [[nodiscard]] std::uint64_t num_tasks() const override {
+    return div_ceil(st_->key_lines, kLinesPerTask);
+  }
+
+  void gen_task(std::uint64_t task, std::vector<Access>& out) const override {
+    Rng rng = task_rng(st_->seed, launch_, task);
+    const std::uint64_t first = task * kLinesPerTask;
+    const std::uint64_t last = std::min(st_->key_lines, first + kLinesPerTask);
+    for (std::uint64_t l = first; l < last; ++l) {
+      // Stream one line of probe keys...
+      out.push_back(Access{st_->keys.at(l * 4 * kWarpAccessBytes), AccessType::kRead, 4,
+                           st_->gap});
+      // ...and probe one bucket per key line. 3 in 4 probes hit the small
+      // hot region (Zipf-ish skew); the rest land anywhere in the table.
+      const bool hot = rng.below(4) != 0;
+      const std::uint64_t bucket =
+          hot ? rng.below(st_->hot_lines) : rng.below(st_->bucket_lines);
+      out.push_back(Access{st_->buckets.at(bucket * kWarpAccessBytes), AccessType::kRead, 1,
+                           st_->gap});
+      // Chained bucket: ~1 in 8 probes follow an overflow pointer.
+      if (rng.below(8) == 0) {
+        out.push_back(Access{st_->buckets.at(rng.below(st_->bucket_lines) * kWarpAccessBytes),
+                             AccessType::kRead, 1, st_->gap});
+      }
+      // Sparse match output: ~1 in 4 probes produce a joined row.
+      if (rng.below(4) == 0) {
+        out.push_back(Access{st_->matches.at((l % st_->matches.lines(kWarpAccessBytes)) *
+                                             kWarpAccessBytes),
+                             AccessType::kWrite, 1, st_->gap});
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kLinesPerTask = 24;
+  std::shared_ptr<const HashjoinState> st_;
+  std::uint32_t launch_;
+};
+
+class HashjoinWorkload final : public Workload {
+ public:
+  explicit HashjoinWorkload(WorkloadParams p) : p_(p) {
+    if (p_.iterations == 0) p_.iterations = 2;
+  }
+  [[nodiscard]] std::string name() const override { return "hashjoin"; }
+  [[nodiscard]] bool irregular() const override { return true; }
+
+  void build(AddressSpace& space) override {
+    st_ = std::make_shared<HashjoinState>();
+    st_->keys = make_region(space, "probe_keys", scaled_bytes(24, p_.scale));
+    st_->buckets = make_region(space, "hash_table", scaled_bytes(20, p_.scale));
+    st_->matches = make_region(space, "matches", scaled_bytes(4, p_.scale));
+    st_->key_lines = st_->keys.bytes / (4 * kWarpAccessBytes);
+    st_->bucket_lines = st_->buckets.lines(kWarpAccessBytes);
+    st_->hot_lines = std::max<std::uint64_t>(1, st_->bucket_lines / 16);
+    st_->seed = p_.seed + 29;
+    st_->gap = 400;
+  }
+
+  [[nodiscard]] std::vector<std::shared_ptr<const Kernel>> schedule() const override {
+    std::vector<std::shared_ptr<const Kernel>> seq;
+    for (std::uint32_t i = 0; i < p_.iterations; ++i) {
+      seq.push_back(std::make_shared<HashjoinKernel>(st_, i));
+    }
+    return seq;
+  }
+
+ private:
+  WorkloadParams p_;
+  std::shared_ptr<HashjoinState> st_;
+};
+
+// ---------------------------------------------------------------------------
+// pipeline
+// ---------------------------------------------------------------------------
+
+class PipelineWorkload final : public Workload {
+ public:
+  explicit PipelineWorkload(WorkloadParams p) : p_(p) {
+    if (p_.iterations == 0) p_.iterations = 2;
+  }
+  [[nodiscard]] std::string name() const override { return "pipeline"; }
+  [[nodiscard]] bool irregular() const override { return false; }
+
+  void build(AddressSpace& space) override {
+    input_ = make_region(space, "raw_input", scaled_bytes(28, p_.scale));
+    lut_ = make_region(space, "decode_lut", scaled_bytes(0.25, p_.scale));
+    scratch_ = make_region(space, "scratch", scaled_bytes(14, p_.scale));
+    output_ = make_region(space, "encoded_out", scaled_bytes(14, p_.scale));
+  }
+
+  [[nodiscard]] std::vector<std::shared_ptr<const Kernel>> schedule() const override {
+    constexpr std::uint64_t kLine = 8ull * kWarpAccessBytes;
+    MapKernel::Options opt;
+    opt.count = 8;
+    opt.gap = 600;
+    opt.lines_per_task = 32;
+
+    // Stage 1: decode — stream the raw input through a hot LUT into scratch.
+    auto decode = std::make_shared<MapKernel>(
+        "pipe_decode",
+        std::vector<MapKernel::Operand>{
+            {input_.base, input_.bytes, AccessType::kRead, 0, 1},
+            {lut_.base, lut_.bytes, AccessType::kRead, 3, 2},
+            {scratch_.base, scratch_.bytes, AccessType::kWrite, 1, 1},
+        },
+        input_.lines(kLine), opt);
+    // Stage 2: filter — scratch is re-read and compacted in place.
+    auto filter = std::make_shared<MapKernel>(
+        "pipe_filter",
+        std::vector<MapKernel::Operand>{
+            {scratch_.base, scratch_.bytes, AccessType::kRead, 0, 1},
+            {scratch_.base, scratch_.bytes, AccessType::kWrite, 1, 1},
+        },
+        scratch_.lines(kLine), opt);
+    // Stage 3: encode — scratch streams out to the encoded output.
+    auto encode = std::make_shared<MapKernel>(
+        "pipe_encode",
+        std::vector<MapKernel::Operand>{
+            {scratch_.base, scratch_.bytes, AccessType::kRead, 0, 1},
+            {lut_.base, lut_.bytes, AccessType::kRead, 3, 1},
+            {output_.base, output_.bytes, AccessType::kWrite, 0, 1},
+        },
+        scratch_.lines(kLine), opt);
+
+    std::vector<std::shared_ptr<const Kernel>> seq;
+    for (std::uint32_t i = 0; i < p_.iterations; ++i) {
+      seq.push_back(decode);
+      seq.push_back(filter);
+      seq.push_back(encode);
+    }
+    return seq;
+  }
+
+ private:
+  WorkloadParams p_;
+  Region input_, lut_, scratch_, output_;
+};
+
+// ---------------------------------------------------------------------------
+// nbody
+// ---------------------------------------------------------------------------
+
+class NbodyWorkload final : public Workload {
+ public:
+  explicit NbodyWorkload(WorkloadParams p) : p_(p) {
+    if (p_.iterations == 0) p_.iterations = 2;
+  }
+  [[nodiscard]] std::string name() const override { return "nbody"; }
+  [[nodiscard]] bool irregular() const override { return false; }
+
+  void build(AddressSpace& space) override {
+    bodies_ = make_region(space, "bodies", scaled_bytes(30, p_.scale));
+    forces_ = make_region(space, "forces", scaled_bytes(7.5, p_.scale));
+  }
+
+  [[nodiscard]] std::vector<std::shared_ptr<const Kernel>> schedule() const override {
+    constexpr std::uint64_t kLine = 8ull * kWarpAccessBytes;
+    // Tiled all-pairs: each force launch re-streams the full body array
+    // against one tile's accumulators (stride_shift revisits the tile's
+    // force lines while bodies stream past — cyclic cold reuse per tile).
+    MapKernel::Options force_opt;
+    force_opt.count = 8;
+    force_opt.gap = 2500;  // O(n) flops per streamed line
+    force_opt.lines_per_task = 32;
+    auto force = std::make_shared<MapKernel>(
+        "nbody_forces",
+        std::vector<MapKernel::Operand>{
+            {bodies_.base, bodies_.bytes, AccessType::kRead, 0, 1},
+            {forces_.base, forces_.bytes, AccessType::kRead, 2, 1},
+            {forces_.base, forces_.bytes, AccessType::kWrite, 2, 1},
+        },
+        bodies_.lines(kLine), force_opt);
+
+    MapKernel::Options step_opt;
+    step_opt.count = 8;
+    step_opt.gap = 300;
+    step_opt.lines_per_task = 64;
+    auto integrate = std::make_shared<MapKernel>(
+        "nbody_integrate",
+        std::vector<MapKernel::Operand>{
+            {forces_.base, forces_.bytes, AccessType::kRead, 0, 1},
+            {bodies_.base, bodies_.bytes, AccessType::kRead, 0, 1},
+            {bodies_.base, bodies_.bytes, AccessType::kWrite, 0, 1},
+        },
+        forces_.lines(kLine), step_opt);
+
+    std::vector<std::shared_ptr<const Kernel>> seq;
+    for (std::uint32_t i = 0; i < p_.iterations; ++i) {
+      seq.push_back(force);  // tile pass 1
+      seq.push_back(force);  // tile pass 2 (second half of the tiling)
+      seq.push_back(integrate);
+    }
+    return seq;
+  }
+
+ private:
+  WorkloadParams p_;
+  Region bodies_, forces_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_pchase(const WorkloadParams& p) {
+  return std::make_unique<PchaseWorkload>(p);
+}
+std::unique_ptr<Workload> make_hashjoin(const WorkloadParams& p) {
+  return std::make_unique<HashjoinWorkload>(p);
+}
+std::unique_ptr<Workload> make_pipeline(const WorkloadParams& p) {
+  return std::make_unique<PipelineWorkload>(p);
+}
+std::unique_ptr<Workload> make_nbody(const WorkloadParams& p) {
+  return std::make_unique<NbodyWorkload>(p);
+}
+
+}  // namespace uvmsim

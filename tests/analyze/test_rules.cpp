@@ -267,6 +267,51 @@ TEST(RuleRegistryHygiene, DocumentedSlugAndRegistrarFormClean) {
   EXPECT_TRUE(run(c, {"registry-hygiene"}).clean());
 }
 
+namespace fixtures {
+
+/// Minimal factory table in the shape of src/workloads/registry.cpp.
+constexpr const char* kWorkloadRegistry =
+    "const Entry kTable[] = {\n"
+    "    {\"foo\", make_foo},\n"
+    "    {\"bar\", make_bar},\n"
+    "};\n";
+
+}  // namespace fixtures
+
+TEST(RuleRegistryHygiene, UndocumentedWorkloadSlugIsReported) {
+  ua::Corpus c;
+  c.add_file("src/workloads/registry.cpp", fixtures::kWorkloadRegistry);
+  c.extra_files.emplace_back("docs/WORKLOADS.md", "# Workloads\n* `foo` — documented\n");
+  const ua::AnalysisResult r = run(c, {"registry-hygiene"});
+  ASSERT_EQ(count_rule(r, "registry-hygiene"), 1u);
+  EXPECT_NE(r.findings[0].message.find("'bar'"), std::string::npos);
+  EXPECT_EQ(r.findings[0].file, "src/workloads/registry.cpp");
+}
+
+TEST(RuleRegistryHygiene, FullyDocumentedWorkloadTableIsClean) {
+  ua::Corpus c;
+  c.add_file("src/workloads/registry.cpp", fixtures::kWorkloadRegistry);
+  c.extra_files.emplace_back("docs/WORKLOADS.md", "* `foo` — x\n* `bar` — y\n");
+  EXPECT_TRUE(run(c, {"registry-hygiene"}).clean());
+}
+
+TEST(RuleRegistryHygiene, MissingWorkloadsDocIsItselfReported) {
+  ua::Corpus c;
+  c.add_file("src/workloads/registry.cpp", fixtures::kWorkloadRegistry);
+  const ua::AnalysisResult r = run(c, {"registry-hygiene"});
+  ASSERT_EQ(count_rule(r, "registry-hygiene"), 1u);
+  EXPECT_NE(r.findings[0].message.find("docs/WORKLOADS.md"), std::string::npos);
+}
+
+TEST(RuleRegistryHygiene, NonFactoryBracesAreNotMistakenForSlugs) {
+  // String-comma pairs whose third token is not a make_* factory (dispatch
+  // tables, error messages) must not be treated as registered workloads.
+  ua::Corpus c;
+  c.add_file("src/workloads/registry.cpp",
+             "const char* kPair[] = {\"not_a_slug\", other_symbol};\n");
+  EXPECT_TRUE(run(c, {"registry-hygiene"}).clean());
+}
+
 // ---- suppressions -------------------------------------------------------
 
 TEST(Suppressions, ReasonedAllowOnSameLineSilences) {

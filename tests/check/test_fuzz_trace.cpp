@@ -1,0 +1,86 @@
+// Trace-seeded fuzz campaigns: a campaign driven by a replayed capture
+// (FuzzOptions::trace_path) must run the sim-vs-oracle lockstep divergence-
+// free — the replay path feeds the differential oracle exactly like a
+// generated stream does — and malformed seed traces fail loudly.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hpp"
+#include "core/simulator.hpp"
+#include "sim/config_parse.hpp"
+#include "trace/trace_binary.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+namespace {
+
+/// Record a tiny oversubscribed run into `path` (removed by the caller).
+void record_seed_trace(const std::string& path) {
+  WorkloadParams params;
+  params.scale = 0.02;
+  const std::unique_ptr<Workload> wl = make_workload("ra", params);
+  SimConfig cfg;
+  cfg.mem.oversubscription = 1.3333;
+  cfg.collect_traces = true;
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  TraceWriter writer(os, {"ra", params.seed, config_digest(cfg)});
+  RunOptions opts;
+  opts.trace_sink = &writer;
+  (void)Simulator(cfg).run(*wl, opts);
+  writer.finalize();
+}
+
+TEST(FuzzTrace, CampaignFromCapturedTraceRunsDivergenceFree) {
+  const std::string path = "fuzz_seed_trace.trb";
+  record_seed_trace(path);
+
+  FuzzOptions opts;
+  opts.seed = 99;
+  opts.iterations = 6;  // case 0 exact replay + 5 mutants, policies rotating
+  opts.jobs = 2;
+  opts.shrink = false;
+  opts.trace_path = path;
+  const FuzzReport rep = run_fuzz(opts);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(rep.iterations, 6u);
+  EXPECT_EQ(rep.divergences, 0u) << (rep.findings.empty()
+                                         ? std::string("(no finding message)")
+                                         : rep.findings.front().message);
+}
+
+TEST(FuzzTrace, PinnedPolicyOverridesTheRotation) {
+  const std::string path = "fuzz_seed_trace_pinned.trb";
+  record_seed_trace(path);
+
+  FuzzOptions opts;
+  opts.seed = 7;
+  opts.iterations = 3;
+  opts.jobs = 1;
+  opts.shrink = false;
+  opts.trace_path = path;
+  opts.policy_slug = "adaptive";
+  const FuzzReport rep = run_fuzz(opts);
+  std::remove(path.c_str());
+  EXPECT_EQ(rep.divergences, 0u);
+}
+
+TEST(FuzzTrace, MalformedSeedTraceFailsLoudly) {
+  const std::string path = "fuzz_seed_garbage.trb";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "this is not a trace of any kind";
+  }
+  FuzzOptions opts;
+  opts.iterations = 2;
+  opts.trace_path = path;
+  EXPECT_THROW((void)run_fuzz(opts), TraceError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,116 @@
+// Golden-trace regression: the checked-in UVMTRB1 capture
+// (tests/data/golden_trace_ra.trb) replayed through the batch engine must
+//   (a) produce report JSON byte-identical across --jobs 1 and --jobs 2 for
+//       all four paper policies, and
+//   (b) under the recording configuration (adaptive, LFU, 1.3333x
+//       oversubscription) match the checked-in stats JSON byte for byte
+//       (tests/data/golden_trace_ra.adaptive.json, captured via
+//       `uvmsim --replay ... --json`).
+// Together these pin the replay path end to end: reader decode, task
+// hand-out, policy behavior, and report serialization.
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "policy/policy_registry.hpp"
+#include "report/run_json.hpp"
+#include "sim/runner.hpp"
+#include "trace/replay_workload.hpp"
+#include "trace/trace_binary.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+namespace {
+
+constexpr double kOversub = 1.3333;
+constexpr const char* kPaperPolicies[] = {"baseline", "always", "oversub", "adaptive"};
+
+[[nodiscard]] std::string fixture_path() {
+  return std::string(UVMSIM_TEST_DATA_DIR) + "/golden_trace_ra.trb";
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+[[nodiscard]] std::vector<RunRequest> replay_grid() {
+  std::vector<RunRequest> grid;
+  for (const char* policy : kPaperPolicies) {
+    RunRequest req;
+    req.workload = "replay";
+    req.params.trace_file = fixture_path();
+    req.config.mem.eviction = EvictionKind::kLfu;
+    req.config.mem.oversubscription = kOversub;
+    EXPECT_TRUE(apply_policy_name(req.config.policy, policy));
+    req.oversub = kOversub;
+    req.label = policy;
+    grid.push_back(std::move(req));
+  }
+  return grid;
+}
+
+/// Run the grid and serialize every entry exactly the way `uvmsim --replay
+/// --json` does: one write_run_json() per run under the recorded workload's
+/// name, concatenated in request order.
+[[nodiscard]] std::string run_replay_json(unsigned jobs) {
+  const std::vector<RunRequest> grid = replay_grid();
+  BatchOptions opts;
+  opts.jobs = jobs;
+  const BatchResult batch = run_batch(grid, opts);
+  EXPECT_TRUE(batch.all_ok()) << batch.failed << " of " << batch.entries.size()
+                              << " replays failed";
+  std::ostringstream out;
+  for (const BatchEntry& e : batch.entries) {
+    if (!e.ok()) continue;
+    write_run_json(out, "ra", e.request.config, e.request.oversub, e.result);
+  }
+  return out.str();
+}
+
+TEST(TraceGolden, FixtureVerifiesAndDescribesTheRecordedRun) {
+  TraceReader reader(fixture_path());
+  EXPECT_NO_THROW(reader.verify());
+  EXPECT_EQ(reader.meta().workload, "ra");
+  EXPECT_GT(reader.meta().total_records, 0u);
+  ASSERT_EQ(reader.meta().allocations.size(), 2u);
+}
+
+TEST(TraceGolden, ReplayIsByteIdenticalAcrossJobCounts) {
+  const std::string serial = run_replay_json(1);
+  const std::string parallel = run_replay_json(2);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_TRUE(serial == parallel)
+      << "replay JSON diverged between --jobs 1 and --jobs 2";
+}
+
+TEST(TraceGolden, AdaptiveReplayMatchesCheckedInStats) {
+  const std::string golden =
+      read_file(std::string(UVMSIM_TEST_DATA_DIR) + "/golden_trace_ra.adaptive.json");
+  ASSERT_FALSE(golden.empty());
+
+  RunRequest req;
+  req.workload = "replay";
+  req.params.trace_file = fixture_path();
+  req.config.mem.eviction = EvictionKind::kLfu;
+  req.config.mem.oversubscription = kOversub;
+  ASSERT_TRUE(apply_policy_name(req.config.policy, "adaptive"));
+  req.oversub = kOversub;
+  const RunResult r = run_request(req);
+
+  std::ostringstream out;
+  write_run_json(out, "ra", req.config, req.oversub, r);
+  EXPECT_TRUE(out.str() == golden)
+      << "adaptive replay stats diverged from the golden capture;\n got: "
+      << out.str() << "\n want: " << golden;
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -3,8 +3,8 @@
 //
 //   uvmsim --workload sssp --policy adaptive --oversub 1.25 --ts 8 -p 8
 //   uvmsim --workload fdtd --policy baseline --scale 0.5 --eviction lru
-//   uvmsim --workload bfs --record bfs.trc        # capture the access trace
-//   uvmsim --replay bfs.trc --policy adaptive     # re-drive it elsewhere
+//   uvmsim --workload bfs --record bfs.trb        # capture the task trace
+//   uvmsim --replay bfs.trb --policy adaptive     # re-drive it elsewhere
 //   uvmsim --workload ra --oversub 1.25 --timeline ra_timeline.csv
 //   uvmsim --list
 #include <cstdio>
@@ -41,8 +41,10 @@ void usage() {
       "  --iterations N     override workload iteration count\n"
       "  --graph NAME       bfs/sssp input structure: powerlaw|road\n"
       "  --config           print the resolved configuration (Table I style)\n"
-      "  --record FILE      capture the access trace to FILE\n"
+      "  --record FILE      capture the task trace to FILE (binary UVMTRB1;\n"
+      "                     replays byte-identically, see docs/TRACES.md)\n"
       "  --replay FILE      replay a captured trace instead of a workload\n"
+      "                     (UVMTRB1 or legacy UVMTRC1, sniffed by magic)\n"
       "  --timeline FILE    write periodic occupancy/traffic samples to FILE\n"
       "  --metrics FILE     write the per-interval time series of every\n"
       "                     registered metric (delta + cumulative) to FILE\n"
@@ -129,6 +131,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       for (const auto& n : workload_names()) std::printf("%s\n", n.c_str());
       for (const auto& n : extra_workload_names()) std::printf("%s (extra)\n", n.c_str());
+      for (const auto& n : zoo_workload_names()) std::printf("%s (zoo)\n", n.c_str());
       return 0;
     } else if (arg == "--workload" || arg == "-w") {
       workload = next();
@@ -247,29 +250,46 @@ int main(int argc, char** argv) {
   }
 
   try {
+    cfg.mem.oversubscription = oversub;
+
     // Resolve the workload: named generator or trace replay.
     std::unique_ptr<Workload> wl;
     if (!replay_path.empty()) {
-      std::ifstream in(replay_path, std::ios::binary);
-      if (!in) {
-        std::fprintf(stderr, "cannot open trace %s\n", replay_path.c_str());
-        return 1;
+      params.trace_file = replay_path;
+      wl = make_workload("replay", params);
+      workload = wl->name();
+      if (const auto* rw = dynamic_cast<const ReplayWorkload*>(wl.get())) {
+        // Report under the recorded slug so a replayed run's JSON is
+        // byte-comparable with the recording run's.
+        workload = rw->meta().workload;
+        const std::uint64_t here = config_digest(cfg);
+        if (rw->meta().config_digest != 0 && rw->meta().config_digest != here) {
+          std::fprintf(stderr,
+                       "note: trace was recorded under a different configuration "
+                       "(digest %016llx, current %016llx)\n",
+                       static_cast<unsigned long long>(rw->meta().config_digest),
+                       static_cast<unsigned long long>(here));
+        }
       }
-      wl = std::make_unique<TraceWorkload>(RecordedTrace::load(in));
-      workload = "replay:" + replay_path;
     } else {
       wl = make_workload(workload, params);
     }
 
-    cfg.mem.oversubscription = oversub;
-    TraceRecorder recorder;
     Timeline timeline;
     obs::MetricsRecorder metrics;
+    std::ofstream record_out;
+    std::unique_ptr<TraceWriter> writer;
     if (!record_path.empty()) {
-      // The recorder needs the allocation layout; build a sizing copy.
-      AddressSpace sizing;
-      make_workload(workload, params)->build(sizing);
-      recorder.capture_layout(sizing);
+      record_out.open(record_path, std::ios::binary | std::ios::trunc);
+      if (!record_out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", record_path.c_str());
+        return 2;
+      }
+      TraceWriter::Provenance prov;
+      prov.workload = workload;
+      prov.seed = params.seed;
+      prov.config_digest = config_digest(cfg);
+      writer = std::make_unique<TraceWriter>(record_out, std::move(prov));
       cfg.collect_traces = true;
     }
     if (!chrome_trace_path.empty()) cfg.collect_traces = true;
@@ -278,7 +298,7 @@ int main(int argc, char** argv) {
     // Compose the requested observation sinks onto one trace stream.
     MultiSink multi;
     TraceSink* sink = nullptr;
-    if (!record_path.empty()) sink = &recorder;
+    if (writer) sink = writer.get();
     if (!chrome_trace_path.empty()) {
       if (sink != nullptr) {
         multi.add(sink);
@@ -299,12 +319,20 @@ int main(int argc, char** argv) {
     }
     const RunResult r = sim.run(*wl, opts);
 
-    if (!record_path.empty()) {
-      std::ofstream out(record_path, std::ios::binary);
-      recorder.trace().save(out);
-      std::printf("trace:      %llu records -> %s\n",
-                  static_cast<unsigned long long>(recorder.trace().total_records()),
-                  record_path.c_str());
+    if (writer) {
+      writer->finalize();
+      record_out.close();
+      if (!record_out) {
+        std::fprintf(stderr, "error: short write to %s\n", record_path.c_str());
+        return 1;
+      }
+      // Keep --json stdout pure JSON (scripts cmp record vs replay output).
+      if (!json_output) {
+        std::printf("trace:      %llu records in %llu tasks -> %s\n",
+                    static_cast<unsigned long long>(writer->records_written()),
+                    static_cast<unsigned long long>(writer->tasks_written()),
+                    record_path.c_str());
+      }
     }
     if (!timeline_path.empty()) {
       std::ofstream out(timeline_path);
@@ -345,6 +373,10 @@ int main(int argc, char** argv) {
       std::printf("\nper-allocation classification (driver access counters):\n%s",
                   format_profiles(r.allocations).c_str());
     }
+  } catch (const TraceError& e) {
+    // Malformed / truncated / corrupted trace input: usage-grade failure.
+    std::fprintf(stderr, "trace error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -34,6 +34,9 @@ constexpr const char* kUsage =
     "                      skip-decision mode)\n"
     "  --inject FAULT      corrupt the oracle: none | flip-residency |\n"
     "                      skip-halving | round-trip-off-by-one (default none)\n"
+    "  --trace FILE        seed the campaign from a captured trace (UVMTRB1\n"
+    "                      or UVMTRC1): case 0 replays it exactly, later\n"
+    "                      cases replay mutants, rotating paper policies\n"
     "  --corpus-out DIR    dump shrunk repros into DIR\n"
     "  --max-findings N    shrink/dump at most N findings (default 8)\n"
     "  --no-shrink         keep findings at original trace size\n"
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
         }
       }
       if (!ok) return usage_error("bad --inject", v);
+    } else if (std::strcmp(a, "--trace") == 0) {
+      opts.trace_path = next(a);
     } else if (std::strcmp(a, "--corpus-out") == 0) {
       opts.corpus_dir = next(a);
     } else if (std::strcmp(a, "--no-shrink") == 0) {
