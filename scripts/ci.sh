@@ -170,6 +170,23 @@ if [[ $rc -ne 2 ]]; then
   echo "uvmsim-trace verify accepted a garbage trace (rc=$rc, want 2)"; exit 1
 fi
 
+# Granularity smoke (docs/GRANULARITY.md): the 2 MB coalescing state
+# machine is off by default, so exercise it explicitly — an audited
+# oversubscribed run with coalescing + splinter-on-evict must report zero
+# violations (the granularity audit pass covers the read-mostly gate, the
+# O(1) coalesced count and the conservation law), and targeted fuzz
+# campaigns on the two churn stream families must stay divergence-free.
+echo "==> granularity smoke (mem.coalescing audited + churn fuzz)"
+build/tools/uvmsim --workload bfs --policy adaptive --oversub 1.3333 \
+    --scale 0.1 --audit --set mem.coalescing=true \
+    --set mem.splinter_on_evict=true | grep '^audit:' | tee /tmp/gran_audit.log
+grep -q 'violations=0' /tmp/gran_audit.log || {
+  echo "granularity audit reported violations"; exit 1; }
+build/tools/uvmsim-fuzz --seed 1 --iters 200 --coalescing on \
+    --pattern coalesce-churn --quiet
+build/tools/uvmsim-fuzz --seed 1 --iters 200 --coalescing on \
+    --pattern splinter-storm --quiet
+
 # Adaptive-policy fuzz smoke: force every case onto an online-adaptive
 # policy; the oracle runs in skip-decision mode (decisions adopted from the
 # driver, memory-state invariants still verified) and must stay clean.

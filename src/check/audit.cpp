@@ -51,6 +51,7 @@ void InvariantAuditor::run_pass(const AuditScope& scope, SimStats& stats) {
 AuditReport InvariantAuditor::audit_now(const AuditScope& s) {
   AuditReport r;
   if (s.table != nullptr && s.device != nullptr) check_residency(s, r);
+  if (s.table != nullptr) check_granularity(s, r);
   if (s.table != nullptr && s.counters != nullptr && s.eviction != nullptr) {
     check_eviction_membership(s, r);
     if (s.eviction->index().attached_to(s.table, s.counters)) {
@@ -152,6 +153,56 @@ void InvariantAuditor::check_residency(const AuditScope& s, AuditReport& r) cons
        << s.queued_fault_blocks << " queued faults";
     return text(os);
   });
+}
+
+// Mapping granularity (docs/GRANULARITY.md): a chunk coalesced into a single
+// 2 MB mapping must be fully resident and never written (the read-mostly
+// coalesce gate), the O(1) coalesced-chunk counter must match a scan, and —
+// when run stats are in scope — the lifecycle counters must conserve:
+// every coalesce is either still standing, was splintered, or was evicted
+// atomically.
+void InvariantAuditor::check_granularity(const AuditScope& s, AuditReport& r) const {
+  const BlockTable& table = *s.table;
+
+  std::uint64_t coalesced_scan = 0;
+  for (ChunkNum c = 0; c < table.num_chunks(); ++c) {
+    if (!table.chunk_coalesced(c)) continue;
+    ++coalesced_scan;
+    expect(r, table.chunk_fully_resident(c), [&] {
+      std::ostringstream os;
+      os << "granularity: chunk " << c << " is coalesced but only "
+         << table.chunk(c).resident_blocks << '/' << table.space().chunk_num_blocks(c)
+         << " mapped blocks are resident";
+      return text(os);
+    });
+    expect(r, !table.chunk(c).written_ever, [&] {
+      std::ostringstream os;
+      os << "granularity: chunk " << c
+         << " is coalesced but has been written (read-mostly gate broken)";
+      return text(os);
+    });
+  }
+  expect(r, table.coalesced_chunks() == coalesced_scan, [&] {
+    std::ostringstream os;
+    os << "granularity: coalesced-chunk counter " << table.coalesced_chunks()
+       << " != scan count " << coalesced_scan;
+    return text(os);
+  });
+
+  if (s.stats != nullptr) {
+    const SimStats& st = *s.stats;
+    expect(r,
+           st.chunk_coalesces ==
+               st.chunk_splinters + st.chunk_coalesced_evictions + coalesced_scan,
+           [&] {
+             std::ostringstream os;
+             os << "granularity: conservation broken — " << st.chunk_coalesces
+                << " coalesces != " << st.chunk_splinters << " splinters + "
+                << st.chunk_coalesced_evictions << " atomic evictions + "
+                << coalesced_scan << " still coalesced";
+             return text(os);
+           });
+  }
 }
 
 // Eviction membership: the 2 MB large-page view the eviction policies rank

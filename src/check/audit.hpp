@@ -6,6 +6,10 @@
 //
 //   * residency conservation — per-chunk resident counts match a per-block
 //     scan; device used == resident + in-flight; resident + free == capacity
+//   * mapping granularity — a coalesced 2 MB chunk is fully resident and was
+//     never written; the O(1) coalesced-chunk counter matches a scan; the
+//     coalesce/splinter counters obey the conservation law
+//     (docs/GRANULARITY.md)
 //   * eviction membership — the victim-selection view of 2 MB large pages
 //     exactly matches block-level residency (and a probe pick returns only
 //     resident blocks of one chunk)
@@ -99,6 +103,7 @@ class InvariantAuditor {
   void run_pass(const AuditScope& scope, SimStats& stats);
 
   void check_residency(const AuditScope& s, AuditReport& r) const;
+  void check_granularity(const AuditScope& s, AuditReport& r) const;
   void check_eviction_membership(const AuditScope& s, AuditReport& r) const;
   void check_eviction_index(const AuditScope& s, AuditReport& r) const;
   void check_counters(const AuditScope& s, AuditReport& r);

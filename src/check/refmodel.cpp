@@ -66,8 +66,10 @@ void RefModel::capture_layout(const AddressSpace& space) {
 
   const BlockNum total_blocks = space.total_blocks();
   blocks_.assign(total_blocks, MBlock{});
+  // Zero blocks means zero chunks (mirrors BlockTable — the phantom chunk
+  // both sides used to manufacture here broke zero-mapped-chunk handling).
   const ChunkNum total_chunks =
-      total_blocks == 0 ? 1 : chunk_of_block(total_blocks - 1) + 1;
+      total_blocks == 0 ? 0 : chunk_of_block(total_blocks - 1) + 1;
   chunks_.assign(total_chunks, MChunk{});
   for (ChunkNum c = 0; c < total_chunks; ++c) {
     chunks_[c].num_blocks = space.chunk_num_blocks(c);
@@ -89,6 +91,16 @@ void RefModel::capture_layout(const AddressSpace& space) {
     }
   }
   layout_captured_ = true;
+}
+
+bool RefModel::coalesce_overdue(Cycle now, const char* hook) {
+  if (!pending_coalesce_) return false;
+  std::ostringstream os;
+  os << "model expected chunk " << *pending_coalesce_
+     << " to coalesce after its completing arrival, but " << hook
+     << " arrived before any on_coalesce";
+  diverge(now, os.str());
+  return true;
 }
 
 void RefModel::diverge(Cycle now, const std::string& what) {
@@ -232,6 +244,18 @@ void RefModel::model_emit_victims(ChunkNum victim, std::vector<BlockNum>& out) c
   const BlockNum first = first_block_of_chunk(victim);
   const std::uint32_t n = chunks_[victim].num_blocks;
 
+  // Mirror of EvictionManager::emit_victims' coalesced-atomic branch: the
+  // on_splinter hook preceding this eviction already demoted the model's
+  // chunk, so the atomic case is recognized by the pending reason rather
+  // than the (now cleared) coalesced flag.
+  if (pending_evict_splinter_ && pending_evict_splinter_->chunk == victim &&
+      pending_evict_splinter_->reason == SplinterReason::kAtomicEviction) {
+    for (BlockNum b = first; b < first + n; ++b) {
+      if (blocks_[b].res == Residence::kDevice) out.push_back(b);
+    }
+    return;
+  }
+
   if (cfg_.mem.eviction == EvictionKind::kTree && n != 0) {
     // Largest fully-resident power-of-two subtree around the LRU leaf.
     BlockNum lru = first;
@@ -296,6 +320,7 @@ void RefModel::on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_
     diverge(now, "layout never captured (advice_hook not wired?)");
     return;
   }
+  if (coalesce_overdue(now, "on_access")) return;
   if (pending_) {
     std::ostringstream os;
     os << "driver never reported the decision for the previous host access to addr 0x"
@@ -326,6 +351,16 @@ void RefModel::on_access(Cycle now, VirtAddr addr, AccessType type, std::uint32_
   }
   blocks_[b].last_access = now;
   MChunk& mc = chunks_[chunk_of_block(b)];
+  // Write sharing must have splintered the chunk before the write was
+  // recorded (the driver fires on_splinter ahead of on_access) — a write
+  // landing on a still-coalesced chunk means the driver skipped it.
+  if (type == AccessType::kWrite && mc.coalesced) {
+    std::ostringstream os;
+    os << "write to block " << b << " of coalesced chunk " << chunk_of_block(b)
+       << " without a write-share splinter";
+    diverge(now, os.str());
+    return;
+  }
   mc.last_access = now;
   if (type == AccessType::kWrite) mc.written_ever = true;
 
@@ -418,7 +453,26 @@ void RefModel::on_decision(Cycle now, VirtAddr addr, AccessType type,
 void RefModel::on_eviction(Cycle now, ChunkNum faulting_chunk,
                            const std::vector<BlockNum>& victims) {
   if (diverged_ || !layout_captured_) return;
+  if (coalesce_overdue(now, "on_eviction")) return;
+  if (!victims.empty()) {
+    const ChunkNum vc = chunk_of_block(victims.front());
+    if (chunks_[vc].coalesced) {
+      std::ostringstream os;
+      os << "eviction from chunk " << vc
+         << " the model still holds coalesced (no preceding on_splinter)";
+      diverge(now, os.str());
+      return;
+    }
+    if (pending_evict_splinter_ && pending_evict_splinter_->chunk != vc) {
+      std::ostringstream os;
+      os << "eviction splinter reported for chunk " << pending_evict_splinter_->chunk
+         << " but the victims land in chunk " << vc;
+      diverge(now, os.str());
+      return;
+    }
+  }
   const std::vector<BlockNum> expected = model_select_victims(faulting_chunk, now);
+  pending_evict_splinter_.reset();
   if (expected != victims) {
     std::ostringstream os;
     os << "victim mismatch while servicing chunk " << faulting_chunk << ": driver evicted "
@@ -451,6 +505,7 @@ void RefModel::on_eviction(Cycle now, ChunkNum faulting_chunk,
 
 void RefModel::on_migration(Cycle now, BlockNum b, bool demand) {
   if (diverged_ || !layout_captured_) return;
+  if (coalesce_overdue(now, "on_migration")) return;
   if (b >= blocks_.size()) {
     std::ostringstream os;
     os << "migration of unmapped block " << b;
@@ -492,6 +547,7 @@ void RefModel::on_migration(Cycle now, BlockNum b, bool demand) {
 
 void RefModel::on_arrival(Cycle now, BlockNum b) {
   if (diverged_ || !layout_captured_) return;
+  if (coalesce_overdue(now, "on_arrival")) return;
   if (b >= blocks_.size() || blocks_[b].res != Residence::kInFlight) {
     std::ostringstream os;
     os << "arrival of block " << b << " the model holds "
@@ -501,16 +557,70 @@ void RefModel::on_arrival(Cycle now, BlockNum b) {
     return;
   }
   blocks_[b].res = Residence::kDevice;
-  ++chunks_[chunk_of_block(b)].resident;
+  const ChunkNum c = chunk_of_block(b);
+  MChunk& mc = chunks_[c];
+  ++mc.resident;
+  // Independent application of the driver's coalesce rule: this arrival
+  // completing a never-written chunk must be answered by on_coalesce before
+  // any other hook (the adjacency every handler's coalesce_overdue pins).
+  if (cfg_.mem.coalescing && !mc.coalesced && mc.num_blocks != 0 &&
+      mc.resident == mc.num_blocks && !mc.written_ever) {
+    pending_coalesce_ = c;
+  }
 }
 
 void RefModel::on_device_full(Cycle) { ever_full_ = true; }
+
+void RefModel::on_coalesce(Cycle now, ChunkNum c) {
+  if (diverged_ || !layout_captured_) return;
+  if (!pending_coalesce_ || *pending_coalesce_ != c) {
+    std::ostringstream os;
+    os << "driver coalesced chunk " << c << " but the model expected ";
+    if (pending_coalesce_)
+      os << "chunk " << *pending_coalesce_;
+    else
+      os << "no coalesce (gates: fully resident, never written, split)";
+    diverge(now, os.str());
+    return;
+  }
+  chunks_[c].coalesced = true;
+  pending_coalesce_.reset();
+}
+
+void RefModel::on_splinter(Cycle now, ChunkNum c, SplinterReason reason) {
+  if (diverged_ || !layout_captured_) return;
+  if (coalesce_overdue(now, "on_splinter")) return;
+  if (c >= chunks_.size() || !chunks_[c].coalesced) {
+    std::ostringstream os;
+    os << "driver splintered chunk " << c << " (" << to_cstr(reason)
+       << ") that the model holds "
+       << (c < chunks_.size() ? "split" : "unmapped");
+    diverge(now, os.str());
+    return;
+  }
+  if (reason == SplinterReason::kEviction && !cfg_.mem.splinter_on_evict) {
+    diverge(now, "partial-eviction splinter with mem.splinter_on_evict=false");
+    return;
+  }
+  chunks_[c].coalesced = false;
+  if (reason != SplinterReason::kWriteShare) {
+    pending_evict_splinter_ = EvictSplinter{c, reason};
+  }
+}
 
 void RefModel::finish() {
   if (diverged_) return;
   if (pending_) {
     std::ostringstream os;
     os << "run ended with an unreported decision for addr 0x" << std::hex << pending_->addr;
+    diverge(0, os.str());
+    return;
+  }
+  if (coalesce_overdue(0, "finish")) return;
+  if (pending_evict_splinter_) {
+    std::ostringstream os;
+    os << "run ended with an eviction splinter of chunk " << pending_evict_splinter_->chunk
+       << " never followed by its on_eviction";
     diverge(0, os.str());
     return;
   }

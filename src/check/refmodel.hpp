@@ -78,6 +78,8 @@ class RefModel final : public TraceSink {
   void on_migration(Cycle now, BlockNum block, bool demand) override;
   void on_arrival(Cycle now, BlockNum block) override;
   void on_device_full(Cycle now) override;
+  void on_coalesce(Cycle now, ChunkNum c) override;
+  void on_splinter(Cycle now, ChunkNum c, SplinterReason reason) override;
 
   /// End-of-run checks (dangling decision, migrations that never landed).
   /// Call after the simulation completes; may record a divergence.
@@ -101,6 +103,7 @@ class RefModel final : public TraceSink {
     std::uint32_t num_blocks = 0;  ///< mapped 64 KB blocks (0 = unmapped chunk)
     Cycle last_access = 0;
     bool written_ever = false;
+    bool coalesced = false;  ///< independent 2 MB-mapping mirror (mem.coalescing)
   };
   struct PendingDecision {
     VirtAddr addr = 0;
@@ -153,6 +156,21 @@ class RefModel final : public TraceSink {
   bool ever_full_ = false;
   std::unordered_map<BlockNum, Cycle> pinned_until_;  ///< throttle mirror
   std::optional<PendingDecision> pending_;
+  /// Chunk the model expects the driver to coalesce: set when an arrival
+  /// completes a never-written chunk; the on_coalesce hook must follow
+  /// immediately (lockstep adjacency) and clears it.
+  std::optional<ChunkNum> pending_coalesce_;
+  /// Eviction-reason splinter awaiting its on_eviction: the model mirrors
+  /// the driver's hook order (splinter fires before the victim report) and
+  /// uses the reason to pick whole-chunk vs per-granularity emission.
+  struct EvictSplinter {
+    ChunkNum chunk = 0;
+    SplinterReason reason = SplinterReason::kEviction;
+  };
+  std::optional<EvictSplinter> pending_evict_splinter_;
+
+  /// Divergence when a predicted coalesce was never reported before `hook`.
+  [[nodiscard]] bool coalesce_overdue(Cycle now, const char* hook);
 
   bool diverged_ = false;
   std::string divergence_;

@@ -159,8 +159,51 @@ void gen_pingpong(RecordedLaunch& launch, const Layout& lay, Rng& rng, std::uint
   }
 }
 
-constexpr std::array<const char*, 6> kPatternNames = {
-    "uniform", "thrash", "hot-cold", "write-burst", "sat-ramp", "ping-pong"};
+// Sequential whole-chunk sweeps over a block ring wider than device
+// capacity: chunks fill block-by-block (every completion is a coalesce
+// candidate under mem.coalescing), then steady eviction pressure forces
+// atomic coalesced evictions — or eviction splinters when
+// mem.splinter_on_evict — as the ring wraps. A rare write seeds the
+// write-share splinter path too.
+void gen_coalesce_churn(RecordedLaunch& launch, const Layout& lay,
+                        std::uint64_t capacity_blocks, Rng& rng, std::uint64_t budget) {
+  const std::uint64_t ring = ring_blocks(lay);
+  std::uint64_t set =
+      capacity_blocks + rng.between(kBlocksPerLargePage / 2, 2 * kBlocksPerLargePage);
+  set = std::clamp<std::uint64_t>(set, 2, ring);
+  const std::uint64_t start = rng.below(ring);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    const VirtAddr a = block_ring_addr(lay, start + i % set);
+    const auto type = rng.chance(0.02) ? AccessType::kWrite : AccessType::kRead;
+    push(launch, a, type, static_cast<std::uint16_t>(rng.between(1, 4)), small_gap(rng));
+  }
+}
+
+// Fill-then-write: a read sweep makes a few chunks fully resident (and
+// coalesced when mem.coalescing), then a write burst into the same chunks
+// storms the write-share splinter path back to 64 KB mappings.
+void gen_splinter_storm(RecordedLaunch& launch, const Layout& lay, Rng& rng,
+                        std::uint64_t budget) {
+  const std::uint64_t ring = ring_blocks(lay);
+  const std::uint64_t set =
+      std::min<std::uint64_t>(ring, kBlocksPerLargePage * rng.between(1, 3));
+  const std::uint64_t start = rng.below(ring);
+  const std::uint64_t fill = budget - budget / 3;
+  for (std::uint64_t i = 0; i < fill; ++i) {
+    const VirtAddr a = block_ring_addr(lay, start + i % set);
+    push(launch, a, AccessType::kRead, static_cast<std::uint16_t>(rng.between(1, 8)),
+         small_gap(rng));
+  }
+  for (std::uint64_t i = fill; i < budget; ++i) {
+    const VirtAddr a = block_ring_addr(lay, start + rng.below(set));
+    push(launch, a + rng.below(kBasicBlockSize), AccessType::kWrite,
+         static_cast<std::uint16_t>(rng.between(1, 16)), small_gap(rng));
+  }
+}
+
+constexpr std::array<const char*, 8> kPatternNames = {
+    "uniform",  "thrash",   "hot-cold",       "write-burst",
+    "sat-ramp", "ping-pong", "coalesce-churn", "splinter-storm"};
 
 void randomize_config(SimConfig& cfg, Rng& rng) {
   // Policy.
@@ -184,6 +227,15 @@ void randomize_config(SimConfig& cfg, Rng& rng) {
   // enough that counter halving is routine rather than unreachable.
   constexpr std::array<std::uint32_t, 8> kCountBitsChoices = {27, 27, 27, 16, 12, 10, 8, 30};
   cfg.mem.counter_count_bits = kCountBitsChoices[rng.below(kCountBitsChoices.size())];
+
+  // Huge-page management (docs/GRANULARITY.md): a third of the cases run
+  // with coalescing, half of those splintering coalesced victims instead of
+  // evicting them atomically. Both draws are unconditional so the rng stream
+  // keeps its shape regardless of the first outcome.
+  const bool coalescing = rng.chance(0.35);
+  const bool splinter_on_evict = rng.chance(0.5);
+  cfg.mem.coalescing = coalescing;
+  cfg.mem.splinter_on_evict = coalescing && splinter_on_evict;
 
   // Fault engine batching.
   constexpr std::array<Cycle, 3> kWindows = {0, 500, 3000};
@@ -211,6 +263,19 @@ void randomize_config(SimConfig& cfg, Rng& rng) {
 
 }  // namespace
 
+std::size_t pattern_count() noexcept { return kPatternNames.size(); }
+
+const char* pattern_name(std::size_t i) noexcept {
+  return i < kPatternNames.size() ? kPatternNames[i] : "?";
+}
+
+int pattern_index(const std::string& name) noexcept {
+  for (std::size_t i = 0; i < kPatternNames.size(); ++i) {
+    if (name == kPatternNames[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
                        const StreamGenOptions& opts) {
   std::uint64_t sm = master_seed + 0x9e3779b97f4a7c15ull * (index + 1);
@@ -220,6 +285,10 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
   FuzzCase fc;
   fc.seed = case_seed;
   randomize_config(fc.config, rng);
+  if (opts.force_coalescing >= 0) {
+    fc.config.mem.coalescing = opts.force_coalescing != 0;
+    if (!fc.config.mem.coalescing) fc.config.mem.splinter_on_evict = false;
+  }
 
   // Allocations: 1-3 spans from a menu of awkward sizes (partial chunks,
   // sub-2MB tails, pow2 and non-pow2 block counts).
@@ -273,14 +342,18 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
     launch.kernel = "fuzzk" + std::to_string(l);
     const std::uint64_t budget =
         l + 1 == num_launches ? total - total / num_launches * l : total / num_launches;
-    const std::uint64_t pat = rng.below(kPatternNames.size());
+    const std::uint64_t pat = opts.force_pattern >= 0
+                                  ? static_cast<std::uint64_t>(opts.force_pattern)
+                                  : rng.below(kPatternNames.size());
     switch (pat) {
       case 0: gen_uniform(launch, lay, rng, budget); break;
       case 1: gen_thrash(launch, lay, capacity_blocks, rng, budget); break;
       case 2: gen_hotcold(launch, lay, rng, budget); break;
       case 3: gen_write_burst(launch, lay, rng, budget); break;
       case 4: gen_saturation_ramp(launch, lay, rng, budget); break;
-      default: gen_pingpong(launch, lay, rng, budget); break;
+      case 5: gen_pingpong(launch, lay, rng, budget); break;
+      case 6: gen_coalesce_churn(launch, lay, capacity_blocks, rng, budget); break;
+      default: gen_splinter_storm(launch, lay, rng, budget); break;
     }
     if (!label.empty()) label += '+';
     label += kPatternNames[pat];

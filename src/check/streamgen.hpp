@@ -36,7 +36,18 @@ struct FuzzCase {
 struct StreamGenOptions {
   std::uint64_t min_records = 60;
   std::uint64_t max_records = 700;
+  /// Pattern index (see pattern_name) every launch must use; -1 = random.
+  int force_pattern = -1;
+  /// Pin mem.coalescing: 0 = off, 1 = on; -1 = randomized per case.
+  int force_coalescing = -1;
 };
+
+/// The hostile stream pattern table, indexable by
+/// StreamGenOptions::force_pattern.
+[[nodiscard]] std::size_t pattern_count() noexcept;
+[[nodiscard]] const char* pattern_name(std::size_t i) noexcept;
+/// Index of `name` in the pattern table, or -1 when unknown.
+[[nodiscard]] int pattern_index(const std::string& name) noexcept;
 
 /// Deterministically generate case `index` of the stream seeded by
 /// `master_seed`. Configs always come back with collect_traces set and

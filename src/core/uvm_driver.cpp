@@ -11,6 +11,7 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
                      BandwidthRegulator* shared_host_mem)
     : cfg_(cfg),
       historic_counters_(cfg.policy.historic_counters()),
+      coalescing_(cfg.mem.coalescing),
       space_(space),
       queue_(queue),
       stats_(stats),
@@ -19,7 +20,7 @@ UvmDriver::UvmDriver(const SimConfig& cfg, const AddressSpace& space,
       counters_(div_ceil(space.span_end(), cfg.mem.counter_granularity),
                 static_cast<std::uint32_t>(std::countr_zero(cfg.mem.counter_granularity)),
                 cfg.mem.counter_count_bits),
-      eviction_(cfg.mem.eviction, cfg.mem.eviction_granularity),
+      eviction_(cfg.mem.eviction, cfg.mem.eviction_granularity, cfg.mem.splinter_on_evict),
       prefetcher_(make_prefetcher(cfg.mem.prefetcher, cfg.rng_seed)),
       policy_(make_policy(cfg.policy)),
       throttle_(cfg.mitigation),
@@ -64,6 +65,14 @@ PolicyFeatures UvmDriver::features(AccessType type, std::uint32_t post_count,
   f.prev_window_evictions = feat_prev_evictions_;
   f.total_faults = stats_.far_faults;
   f.total_evictions = stats_.evictions;
+  if (coalescing_) {
+    // Listed chunks (>= 1 resident block) are the denominator: the feature
+    // answers "how much of what lives on the device is huge-mapped".
+    const std::uint64_t listed = eviction_.index().size();
+    f.coalesced_ratio = listed == 0 ? 0.0
+                                    : static_cast<double>(table_.coalesced_chunks()) /
+                                          static_cast<double>(listed);
+  }
   return f;
 }
 
@@ -136,6 +145,18 @@ AccessOutcome UvmDriver::access_impl(WarpId w, VirtAddr addr, AccessType type,
       if (counters_.halvings() != prev_halvings) {
         trace_->on_counter_halving(now, counters_.halvings());
       }
+    }
+  }
+  // Write sharing splinters a coalesced chunk before the write is recorded,
+  // so the "coalesced => never written" invariant holds at every event
+  // boundary. A coalesced chunk is fully resident, so only the
+  // device-resident path below can reach this.
+  if (coalescing_ && type == AccessType::kWrite) {
+    const ChunkNum wc = chunk_of_block(b);
+    if (table_.chunk_coalesced(wc)) {
+      table_.splinter(wc);
+      ++stats_.chunk_splinters;
+      if constexpr (kTrace) trace_->on_splinter(now, wc, SplinterReason::kWriteShare);
     }
   }
   table_.touch(b, type, now);
@@ -302,6 +323,27 @@ bool UvmDriver::evict_for(ChunkNum faulting_chunk, Cycle now, Cycle& writeback_r
       victim_buf_);
   const std::vector<BlockNum>& victims = victim_buf_;
   if (victims.empty()) return false;
+  // A coalesced victim chunk demotes before any block leaves: atomically
+  // (the whole chunk is the victim set, mem.splinter_on_evict=false) or by
+  // splintering so the configured granularity applies. Either way the hook
+  // fires before on_eviction so lockstep oracles see the transition first.
+  if (coalescing_) {
+    const ChunkNum vc = chunk_of_block(victims.front());
+    if (table_.chunk_coalesced(vc)) {
+      const bool whole = victims.size() == table_.chunk(vc).resident_blocks;
+      table_.splinter(vc);
+      if (whole) {
+        ++stats_.chunk_coalesced_evictions;
+      } else {
+        ++stats_.chunk_splinters;
+      }
+      if constexpr (kTrace) {
+        trace_->on_splinter(now, vc,
+                            whole ? SplinterReason::kAtomicEviction
+                                  : SplinterReason::kEviction);
+      }
+    }
+  }
   if constexpr (kTrace) trace_->on_eviction(now, faulting_chunk, victims);
 
   ++stats_.evictions;
@@ -467,6 +509,13 @@ void UvmDriver::on_block_arrival_impl(BlockNum b) {
   const Cycle now = queue_.now();
   if constexpr (kTrace) trace_->on_arrival(now, b);
   table_.mark_resident(b, now);
+  // The arrival that completes a never-written chunk promotes it to one
+  // 2 MB mapping; the hook follows on_arrival immediately (lockstep oracles
+  // depend on that adjacency).
+  if (coalescing_ && table_.try_coalesce(chunk_of_block(b))) {
+    ++stats_.chunk_coalesces;
+    if constexpr (kTrace) trace_->on_coalesce(now, chunk_of_block(b));
+  }
   if (peers_ != nullptr) peers_->set_resident(b, gpu_id_);
   UVM_CHECK(in_flight_ > 0, "UvmDriver: block " << b
                 << " arrived with no transfer in flight at cycle " << now);

@@ -144,6 +144,9 @@ class UvmDriver {
   /// cfg_.policy.historic_counters(), resolved once: the answer is fixed for
   /// a run, and the slug-based form costs string compares per access.
   const bool historic_counters_;
+  /// cfg_.mem.coalescing, hoisted so the access fast path pays one
+  /// predictable branch when huge-page management is off (the default).
+  const bool coalescing_;
   const AddressSpace& space_;
   EventQueue& queue_;
   SimStats& stats_;

@@ -10,8 +10,11 @@ BlockTable::BlockTable(const AddressSpace& space) : space_(space) {
   state_.assign(nblocks, static_cast<std::uint8_t>(Residence::kHost));
   last_access_.assign(nblocks, 0);
   round_trips_.assign(nblocks, 0);
-  chunks_.resize(chunk_of_block(nblocks == 0 ? 0 : nblocks - 1) + 1);
+  // An empty address space has zero chunks — the old `chunk_of_block(0) + 1`
+  // expression manufactured a phantom chunk with no mapped blocks.
+  chunks_.resize(nblocks == 0 ? 0 : chunk_of_block(nblocks - 1) + 1);
   chunk_nblocks_.resize(chunks_.size());
+  coalesced_.assign(chunks_.size(), 0);
   for (ChunkNum c = 0; c < chunks_.size(); ++c) {
     chunk_nblocks_[c] = space.chunk_num_blocks(c);
   }
@@ -49,6 +52,9 @@ bool BlockTable::mark_evicted(BlockNum b) {
   UVM_CHECK(residence(b) == Residence::kDevice,
             "BlockTable: eviction requires device residence; block=" << b
                 << " state=" << to_cstr(residence(b)) << " dirty=" << dirty(b));
+  UVM_CHECK(coalesced_[chunk_of_block(b)] == 0,
+            "BlockTable: evicting block " << b << " from coalesced chunk "
+                << chunk_of_block(b) << " without splintering first");
   const std::uint8_t st = state_[b];
   const bool was_dirty = (st & kDirtyBit) != 0;
   state_[b] = static_cast<std::uint8_t>(
@@ -61,6 +67,21 @@ bool BlockTable::mark_evicted(BlockNum b) {
   --c.resident_blocks;
   if (index_ != nullptr) index_->on_evicted(b);
   return was_dirty;
+}
+
+bool BlockTable::try_coalesce(ChunkNum c) {
+  if (coalesced_[c] != 0) return false;
+  if (!chunk_fully_resident(c)) return false;
+  if (chunks_[c].written_ever) return false;  // read-mostly gate
+  coalesced_[c] = 1;
+  ++num_coalesced_;
+  return true;
+}
+
+void BlockTable::splinter(ChunkNum c) {
+  UVM_CHECK(coalesced_[c] != 0, "BlockTable: splinter on split chunk " << c);
+  coalesced_[c] = 0;
+  --num_coalesced_;
 }
 
 std::vector<BlockNum> BlockTable::resident_blocks_of(ChunkNum c) const {

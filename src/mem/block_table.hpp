@@ -146,11 +146,37 @@ class BlockTable {
     }
   }
 
-  /// True when every mapped block of chunk `c` is resident.
+  /// True when every mapped block of chunk `c` is resident. Zero-mapped
+  /// chunks are never "fully resident" — there is nothing to map.
   [[nodiscard]] bool chunk_fully_resident(ChunkNum c) const noexcept {
     const std::uint32_t n = chunk_nblocks_[c];
     return n != 0 && chunks_[c].resident_blocks == n;
   }
+
+  /// Mapping granularity of chunk `c` (docs/GRANULARITY.md). Split is the
+  /// paper's fixed per-block state; coalesced models one 2 MB mapping.
+  [[nodiscard]] MappingGranularity granularity(ChunkNum c) const noexcept {
+    return coalesced_[c] != 0 ? MappingGranularity::kCoalesced
+                              : MappingGranularity::kSplit;
+  }
+  [[nodiscard]] bool chunk_coalesced(ChunkNum c) const noexcept {
+    return coalesced_[c] != 0;
+  }
+  /// Chunks currently coalesced; O(1), maintained on every transition (the
+  /// policy feature snapshot reads this per consultation).
+  [[nodiscard]] std::uint64_t coalesced_chunks() const noexcept { return num_coalesced_; }
+
+  /// Promote chunk `c` to a coalesced 2 MB mapping if the gates hold: fully
+  /// resident and never written (the read-mostly heuristic — a written-ever
+  /// chunk would splinter on its very next write anyway). Returns true on
+  /// the split -> coalesced transition, false when any gate fails or the
+  /// chunk is already coalesced. Pure state change: counters and TraceSink
+  /// hooks are the caller's (driver's) job.
+  bool try_coalesce(ChunkNum c);
+  /// Demote chunk `c` back to per-block mappings. The chunk must be
+  /// coalesced; the caller decides why (write sharing, partial eviction,
+  /// atomic whole-chunk eviction) and accounts for it.
+  void splinter(ChunkNum c);
 
   [[nodiscard]] const AddressSpace& space() const noexcept { return space_; }
 
@@ -190,6 +216,8 @@ class BlockTable {
   std::vector<std::uint32_t> round_trips_; ///< eviction count, parallel to state_
   std::vector<std::uint32_t> chunk_nblocks_;  ///< cached space_.chunk_num_blocks
   std::vector<ChunkResidency> chunks_;
+  std::vector<std::uint8_t> coalesced_;  ///< 1 = chunk holds a 2 MB mapping
+  std::uint64_t num_coalesced_ = 0;      ///< invariant: popcount of coalesced_
   EvictionIndex* index_ = nullptr;
 };
 

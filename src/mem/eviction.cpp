@@ -109,8 +109,12 @@ std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind) {
   return nullptr;
 }
 
-EvictionManager::EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes)
-    : policy_(make_eviction_policy(kind)), kind_(kind), granularity_(granularity_bytes) {}
+EvictionManager::EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes,
+                                 bool splinter_on_evict)
+    : policy_(make_eviction_policy(kind)),
+      kind_(kind),
+      granularity_(granularity_bytes),
+      splinter_on_evict_(splinter_on_evict) {}
 
 void EvictionManager::attach_index(BlockTable& table, AccessCounterTable& counters) {
   index_.attach(&table, &counters);
@@ -217,6 +221,17 @@ ChunkNum EvictionManager::pick_fast(const BlockTable& table,
 void EvictionManager::emit_victims(ChunkNum victim, const BlockTable& table,
                                    const AccessCounterTable& counters,
                                    std::vector<BlockNum>& out) const {
+  // A coalesced victim chunk is one 2 MB mapping: unless the configuration
+  // splinters it first, it leaves device memory atomically — every resident
+  // block, regardless of the tree subtree or the 64 KB granularity below.
+  // Checked before the tree/granularity paths so neither can emit a partial
+  // set out of a huge mapping.
+  if (!splinter_on_evict_ && table.chunk_coalesced(victim)) {
+    out.reserve(out.size() + table.chunk(victim).resident_blocks);
+    table.for_each_resident_block(victim, [&](BlockNum b) { out.push_back(b); });
+    return;
+  }
+
   if (kind_ == EvictionKind::kTree) {
     tree_eviction_subtree_into(victim, table, out);
     if (!out.empty()) return;

@@ -99,10 +99,18 @@ void tree_eviction_subtree_into(ChunkNum c, const BlockTable& table,
 ///   LFU walks the resident chunks once with O(1) frequency lookups.
 class EvictionManager {
  public:
-  EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes);
+  /// `splinter_on_evict` only matters once chunks can be coalesced
+  /// (mem.coalescing, docs/GRANULARITY.md): false evicts a coalesced victim
+  /// chunk atomically as one 2 MB unit regardless of the configured
+  /// granularity; true lets the caller splinter it and evict at the normal
+  /// granularity. With no coalesced chunks both settings are inert, so the
+  /// default keeps every existing call site bit-identical.
+  EvictionManager(EvictionKind kind, std::uint64_t granularity_bytes,
+                  bool splinter_on_evict = false);
 
   [[nodiscard]] EvictionKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::uint64_t granularity() const noexcept { return granularity_; }
+  [[nodiscard]] bool splinter_on_evict() const noexcept { return splinter_on_evict_; }
 
   /// Wire the incremental index to `table`/`counters` mutation hooks and
   /// rebuild it from their current state. The manager (and thus the index)
@@ -146,6 +154,7 @@ class EvictionManager {
   EvictionIndex index_;
   EvictionKind kind_;
   std::uint64_t granularity_;
+  bool splinter_on_evict_;
 };
 
 }  // namespace uvmsim

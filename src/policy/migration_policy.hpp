@@ -60,6 +60,9 @@ struct PolicyFeatures {
   /// threshold hardens from the very first access, which is what lets a huge
   /// penalty p approximate pure host-pinned zero-copy (paper §VI-D).
   bool overcommitted = false;
+  /// Fraction of chunks holding resident blocks that are coalesced into a
+  /// 2 MB mapping (docs/GRANULARITY.md). Always 0 unless mem.coalescing.
+  double coalesced_ratio = 0.0;
 
   // --- clock and windowed activity ----------------------------------------
   Cycle now = 0;  ///< simulation clock at the consultation

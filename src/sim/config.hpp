@@ -110,6 +110,16 @@ struct MemConfig {
   /// device memory), overriding device_capacity_bytes. This mirrors the
   /// paper's methodology of shrinking free space rather than scaling inputs.
   double oversubscription = 0.0;
+  /// Mosaic-style huge-page management (docs/GRANULARITY.md): coalesce a
+  /// fully-resident, never-written chunk into one 2 MB mapping; splinter it
+  /// back on write sharing or eviction. Off by default — the paper's fixed
+  /// 64 KB/2 MB geometry — and off leaves every code path bit-identical.
+  bool coalescing = false;
+  /// When a victim chunk is coalesced: true splinters it first and evicts at
+  /// the configured eviction granularity; false (default) evicts the whole
+  /// chunk atomically, preserving the huge mapping until it leaves device
+  /// memory. No effect unless coalescing is enabled.
+  bool splinter_on_evict = false;
 };
 
 /// Migration-policy configuration.

@@ -195,6 +195,14 @@ const std::map<std::string, Setter>& setters() {
        [](SimConfig& c, const std::string& k, const std::string& v) {
          c.mem.oversubscription = parse_f64(k, v);
        }},
+      {"mem.coalescing",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.coalescing = parse_bool(k, v);
+       }},
+      {"mem.splinter_on_evict",
+       [](SimConfig& c, const std::string& k, const std::string& v) {
+         c.mem.splinter_on_evict = parse_bool(k, v);
+       }},
       // Policy.
       {"policy",
        [](SimConfig& c, const std::string& k, const std::string& v) {
@@ -337,6 +345,8 @@ std::string to_config_string(const SimConfig& c) {
      << "mem.counter_granularity = " << c.mem.counter_granularity << '\n'
      << "mem.counter_count_bits = " << c.mem.counter_count_bits << '\n'
      << "mem.oversubscription = " << c.mem.oversubscription << '\n'
+     << "mem.coalescing = " << b(c.mem.coalescing) << '\n'
+     << "mem.splinter_on_evict = " << b(c.mem.splinter_on_evict) << '\n'
      << "policy = " << policy << '\n'
      << "policy.static_threshold = " << c.policy.static_threshold << '\n'
      << "policy.migration_penalty = " << c.policy.migration_penalty << '\n'

@@ -48,6 +48,13 @@ struct SimStats {
   // Counter maintenance.
   std::uint64_t counter_halvings = 0;
 
+  // Mapping granularity (docs/GRANULARITY.md); all zero unless
+  // mem.coalescing. Conservation: chunk_coalesces == chunk_splinters +
+  // chunk_coalesced_evictions + currently-coalesced chunks (audited).
+  std::uint64_t chunk_coalesces = 0;            ///< split -> coalesced promotions
+  std::uint64_t chunk_splinters = 0;            ///< write-share/partial-evict demotions
+  std::uint64_t chunk_coalesced_evictions = 0;  ///< atomic whole-chunk evictions
+
   // Invariant auditing (check/audit.hpp); populated when audit.enabled.
   std::uint64_t audit_passes = 0;      ///< full cross-validation passes run
   std::uint64_t audit_violations = 0;  ///< invariant violations detected

@@ -81,6 +81,35 @@ enum class Residence : std::uint8_t {
 /// Kind of memory access issued by a warp.
 enum class AccessType : std::uint8_t { kRead, kWrite };
 
+/// Mapping granularity of one 2 MB chunk (docs/GRANULARITY.md). Split keeps
+/// per-64 KB-block state (the paper's fixed geometry); coalesced models one
+/// Mosaic-style huge-page mapping over a fully-resident read-mostly chunk.
+enum class MappingGranularity : std::uint8_t { kSplit, kCoalesced };
+
+[[nodiscard]] constexpr const char* to_cstr(MappingGranularity g) noexcept {
+  switch (g) {
+    case MappingGranularity::kSplit: return "split";
+    case MappingGranularity::kCoalesced: return "coalesced";
+  }
+  return "?";
+}
+
+/// Why a coalesced chunk splintered back to per-block mappings.
+enum class SplinterReason : std::uint8_t {
+  kWriteShare,     ///< first write to the chunk broke the read-mostly gate
+  kEviction,       ///< partial eviction under mem.splinter_on_evict
+  kAtomicEviction  ///< whole-chunk eviction demoted the mapping in one step
+};
+
+[[nodiscard]] constexpr const char* to_cstr(SplinterReason r) noexcept {
+  switch (r) {
+    case SplinterReason::kWriteShare: return "write-share";
+    case SplinterReason::kEviction: return "eviction";
+    case SplinterReason::kAtomicEviction: return "atomic-eviction";
+  }
+  return "?";
+}
+
 /// Outcome of the migration-policy consultation for a host-resident block.
 enum class MigrationDecision : std::uint8_t {
   kMigrate,      ///< raise a far-fault and migrate the block to the device

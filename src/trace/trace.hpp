@@ -68,6 +68,14 @@ class TraceSink {
   /// The thrash throttle (mitigation ablations) pinned `block` to host
   /// memory until cycle `until`.
   virtual void on_throttle_pin(Cycle /*now*/, BlockNum /*block*/, Cycle /*until*/) {}
+  /// Chunk `c` was promoted to a coalesced 2 MB mapping (mem.coalescing,
+  /// docs/GRANULARITY.md). Fires right after the arrival that completed the
+  /// chunk, i.e. after on_arrival() for that block.
+  virtual void on_coalesce(Cycle /*now*/, ChunkNum /*c*/) {}
+  /// Coalesced chunk `c` splintered back to per-block mappings. For the
+  /// eviction reasons this fires inside the eviction pass, before the
+  /// on_eviction() hook reporting the victims.
+  virtual void on_splinter(Cycle /*now*/, ChunkNum /*c*/, SplinterReason /*reason*/) {}
 };
 
 /// Fig 2: per-4KB-page access counts, split into read-only pages and pages
@@ -183,6 +191,12 @@ class MultiSink final : public TraceSink {
   }
   void on_throttle_pin(Cycle now, BlockNum block, Cycle until) override {
     for (auto* s : sinks_) s->on_throttle_pin(now, block, until);
+  }
+  void on_coalesce(Cycle now, ChunkNum c) override {
+    for (auto* s : sinks_) s->on_coalesce(now, c);
+  }
+  void on_splinter(Cycle now, ChunkNum c, SplinterReason reason) override {
+    for (auto* s : sinks_) s->on_splinter(now, c, reason);
   }
 
  private:

@@ -340,7 +340,10 @@ TraceReader::TraceReader(std::string path) : path_(std::move(path)) {
   std::memcpy(&meta_.total_records, header + 32, sizeof meta_.total_records);
   meta_.version = version;
 
-  if (footer_offset_ < sizeof header || footer_offset_ + 9 > file_bytes_)
+  // Overflow-safe form of `footer_offset_ + 9 > file_bytes_`: the stored
+  // offset is untrusted, and values near 2^64 would wrap the addition past
+  // the check (then underflow footer_len below). file_bytes_ >= 49 here.
+  if (footer_offset_ < sizeof header || footer_offset_ > file_bytes_ - 9)
     throw TraceError("UVMTRB1: footer offset out of range in " + path_);
 
   // Parse the footer (directory + provenance + stored hash).

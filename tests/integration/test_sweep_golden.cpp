@@ -11,6 +11,10 @@
 // (peer_accesses .. audit_violations, registry schema v2); the original 27
 // leading columns were verified byte-identical to the pre-registry capture
 // before re-recording, so the simulated numbers themselves are unchanged.
+// Regenerated again for registry schema v3 (appended chunk_coalesces,
+// chunk_splinters, chunk_coalesced_evictions — all zero here because
+// mem.coalescing defaults off, docs/GRANULARITY.md); the v2 columns were
+// again verified byte-identical before re-recording.
 #include <gtest/gtest.h>
 
 #include <fstream>

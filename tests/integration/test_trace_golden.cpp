@@ -5,7 +5,10 @@
 //   (b) under the recording configuration (adaptive, LFU, 1.3333x
 //       oversubscription) match the checked-in stats JSON byte for byte
 //       (tests/data/golden_trace_ra.adaptive.json, captured via
-//       `uvmsim --replay ... --json`).
+//       `uvmsim --replay ... --json`; re-captured for metric registry
+//       schema v3 — the appended chunk_* granularity fields are zero with
+//       mem.coalescing off, and the v2 fields were verified byte-identical
+//       before re-recording).
 // Together these pin the replay path end to end: reader decode, task
 // hand-out, policy behavior, and report serialization.
 #include <fstream>

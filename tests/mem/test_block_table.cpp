@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace uvmsim {
 namespace {
 
@@ -115,6 +117,74 @@ TEST(BlockTablePartialChunk, FullyResidentUsesMappedCount) {
     t.mark_resident(b, 1);
   }
   EXPECT_TRUE(t.chunk_fully_resident(0));
+}
+
+// Boundary sweep: the chunk axis must cover exactly the mapped blocks — no
+// phantom trailing chunk past the last block, none at all for an empty
+// space, and a cached per-chunk block count that agrees with the address
+// space at every index including the final partially-mapped chunk.
+
+TEST(BlockTableBoundary, EmptySpaceHasNoChunks) {
+  AddressSpace space;
+  BlockTable t(space);
+  EXPECT_EQ(t.num_blocks(), 0u);
+  EXPECT_EQ(t.num_chunks(), 0u);
+}
+
+TEST(BlockTableBoundary, ExactChunkMultipleHasNoPhantomChunk) {
+  AddressSpace space;
+  space.allocate("a", kLargePageSize);  // exactly one chunk, 32 blocks
+  BlockTable t(space);
+  EXPECT_EQ(t.num_blocks(), kBlocksPerLargePage);
+  EXPECT_EQ(t.num_chunks(), 1u);
+  EXPECT_EQ(t.chunk_num_blocks(0), kBlocksPerLargePage);
+}
+
+TEST(BlockTableBoundary, SingleBlockSpaceHasOneChunk) {
+  AddressSpace space;
+  space.allocate("a", kBasicBlockSize);
+  BlockTable t(space);
+  // The VA span is padded to the next 2 MB boundary, so the block axis
+  // covers the whole chunk — but only one block of it is mapped.
+  EXPECT_EQ(t.num_blocks(), kBlocksPerLargePage);
+  EXPECT_EQ(t.num_chunks(), 1u);
+  EXPECT_EQ(t.chunk_num_blocks(0), 1u);
+  EXPECT_FALSE(t.chunk_fully_resident(0));
+  t.mark_in_flight(0);
+  t.mark_resident(0, 1);
+  EXPECT_TRUE(t.chunk_fully_resident(0));
+}
+
+TEST(BlockTableBoundary, FinalPartialChunkCountsAndResidency) {
+  // A 3-block user tail rounds up to a 4-block mapped tail (partial chunks
+  // are padded to a power-of-two block count).
+  AddressSpace space;
+  space.allocate("a", kLargePageSize + 3 * kBasicBlockSize);
+  BlockTable t(space);
+  ASSERT_EQ(t.num_chunks(), 2u);
+  for (ChunkNum c = 0; c < t.num_chunks(); ++c) {
+    EXPECT_EQ(t.chunk_num_blocks(c), space.chunk_num_blocks(c)) << "chunk " << c;
+  }
+  ASSERT_EQ(t.chunk_num_blocks(1), 4u);
+
+  // The tail chunk reaches fully-resident at its mapped count, not at 32.
+  const BlockNum first = first_block_of_chunk(1);
+  for (BlockNum b = first; b < first + 4; ++b) {
+    EXPECT_FALSE(t.chunk_fully_resident(1));
+    t.mark_in_flight(b);
+    t.mark_resident(b, 1);
+  }
+  EXPECT_TRUE(t.chunk_fully_resident(1));
+
+  // for_each_resident_block stays inside the mapped range of the tail chunk.
+  std::vector<BlockNum> visited;
+  t.for_each_resident_block(1, [&](BlockNum b) { visited.push_back(b); });
+  EXPECT_EQ(visited, (std::vector<BlockNum>{first, first + 1, first + 2, first + 3}));
+
+  // Evicting one tail block drops the flag again (aggregate bookkeeping).
+  t.mark_evicted(first + 1);
+  EXPECT_FALSE(t.chunk_fully_resident(1));
+  EXPECT_EQ(t.chunk(1).resident_blocks, 3u);
 }
 
 }  // namespace

@@ -215,6 +215,49 @@ TEST(EvictionIndexParity, HalvingMarksAggregatesStaleThenRebuilds) {
   h.check_parity();
 }
 
+// Regression (stale-aggregate window): a global counter halving can REORDER
+// the LFU ranking — floor division collapses 3 vs 2 into a tie that then
+// falls to recency. A selection issued immediately after halve_all, with no
+// intervening touch to refresh the index, must consult the lazily rebuilt
+// aggregates, never the stale pre-halving ones.
+TEST(EvictionIndexParity, HalveThenImmediateSelectUsesRebuiltAggregates) {
+  IndexHarness h(EvictionKind::kLfu, kLargePageSize, 4, 16, 4);
+  BlockTable& table = h.table();
+  for (ChunkNum c : {ChunkNum{0}, ChunkNum{1}}) {
+    const BlockNum first = first_block_of_chunk(c);
+    for (BlockNum b = first; b < first + kBlocksPerLargePage; ++b) {
+      table.mark_in_flight(b);
+      table.mark_resident(b, 10);
+      table.touch(b, AccessType::kRead, 10 + c);  // chunk 0 older than chunk 1
+    }
+  }
+  h.counters().record_access(addr_of_block(first_block_of_chunk(0)), 3);
+  h.counters().record_access(addr_of_block(first_block_of_chunk(1)), 2);
+
+  // Pre-halving the ranking is unambiguous: chunk 1 (frequency 2) loses.
+  const VictimQuery q{3, true, 100, 0};
+  const auto before = h.manager().select_victims(table, h.counters(), q);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(chunk_of_block(before.front()), 1u);
+
+  h.counters().halve_all();
+  ASSERT_TRUE(h.manager().index().frequencies_stale());
+
+  // 3 and 2 both halve to 1: the tie now falls to recency, which chunk 0
+  // (older) loses. Stale aggregates would still name chunk 1.
+  const auto fast = h.manager().select_victims(table, h.counters(), q);
+  const auto ref = h.manager().select_victims_reference(table, h.counters(), q);
+  ASSERT_FALSE(fast.empty());
+  EXPECT_EQ(fast, ref);
+  EXPECT_EQ(chunk_of_block(fast.front()), 0u);
+  for (ChunkNum c : {ChunkNum{0}, ChunkNum{1}}) {
+    EXPECT_EQ(h.manager().index().frequency(c),
+              LfuEviction::chunk_frequency(c, table, h.counters()))
+        << "chunk " << c;
+  }
+  h.check_parity();
+}
+
 TEST(EvictionIndexParity, WrittenEverTieBreakMatchesReference) {
   IndexHarness h(EvictionKind::kLfu, kLargePageSize, 4, 16, 2);
   BlockTable& table = h.table();

@@ -5,6 +5,7 @@
 // out-of-range block ids, arbitrary byte flips) raises TraceError; nothing
 // is silently accepted.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -206,11 +207,20 @@ TEST(TraceBinary, TruncatedFilesThrow) {
     write_sample(w);
   }
   const std::string full = tf.read();
+  // The header's footer-offset field locates the boundary between the chunk
+  // region and the footer; cuts placed exactly on and just past it probe the
+  // reader's boundary arithmetic (footer_offset + 9 is the smallest frame a
+  // construction-time parse even attempts: tag + stored hash).
+  std::uint64_t footer_offset = 0;
+  std::memcpy(&footer_offset, full.data() + 24, sizeof footer_offset);
+  ASSERT_GT(footer_offset, 40u);
+  ASSERT_LT(footer_offset + 9, full.size());
+  const auto fo = static_cast<std::size_t>(footer_offset);
   // Every truncation point must fail loudly: either at construction or at
   // the verify() integrity pass (never a silent partial load).
   for (const std::size_t len :
        {std::size_t{0}, std::size_t{7}, std::size_t{39}, std::size_t{48}, full.size() / 2,
-        full.size() - 9, full.size() - 1}) {
+        fo - 1, fo, fo + 1, fo + 8, fo + 9, full.size() - 9, full.size() - 1}) {
     TempFile cut("trb_trunc_cut.trb");
     cut.write(full.substr(0, len));
     EXPECT_THROW(
@@ -220,6 +230,28 @@ TEST(TraceBinary, TruncatedFilesThrow) {
         },
         TraceError)
         << "truncated to " << len << " of " << full.size();
+  }
+}
+
+TEST(TraceBinary, HostileFooterOffsetsThrow) {
+  TempFile tf("trb_hostile_footer_src.trb");
+  {
+    std::ofstream os(tf.path(), std::ios::binary);
+    TraceWriter w(os, {"t", 0, 0});
+    write_sample(w);
+  }
+  const std::string full = tf.read();
+  // Offsets that defeat naive `offset + 9 > size` arithmetic: values near
+  // 2^64 wrap the addition, and exact-boundary values (size - 9, size - 8)
+  // leave a frame too small for anything but (at most) tag + hash.
+  for (const std::uint64_t hostile :
+       {std::uint64_t{0}, std::uint64_t{39}, ~std::uint64_t{0}, ~std::uint64_t{0} - 8,
+        static_cast<std::uint64_t>(full.size()), static_cast<std::uint64_t>(full.size()) - 8}) {
+    std::string bad = full;
+    std::memcpy(bad.data() + 24, &hostile, sizeof hostile);
+    TempFile f("trb_hostile_footer_bad.trb");
+    f.write(bad);
+    EXPECT_THROW(TraceReader r(f.path()), TraceError) << "footer offset " << hostile;
   }
 }
 

@@ -34,6 +34,11 @@ constexpr const char* kUsage =
     "                      skip-decision mode)\n"
     "  --inject FAULT      corrupt the oracle: none | flip-residency |\n"
     "                      skip-halving | round-trip-off-by-one (default none)\n"
+    "  --pattern NAME      force every launch onto one stream pattern\n"
+    "                      (uniform | thrash | hot-cold | write-burst |\n"
+    "                      sat-ramp | ping-pong | coalesce-churn |\n"
+    "                      splinter-storm)\n"
+    "  --coalescing on|off pin mem.coalescing instead of randomizing it\n"
     "  --trace FILE        seed the campaign from a captured trace (UVMTRB1\n"
     "                      or UVMTRC1): case 0 replays it exactly, later\n"
     "                      cases replay mutants, rotating paper policies\n"
@@ -114,6 +119,20 @@ int main(int argc, char** argv) {
         }
       }
       if (!ok) return usage_error("bad --inject", v);
+    } else if (std::strcmp(a, "--pattern") == 0) {
+      const char* v = next(a);
+      const int idx = pattern_index(v);
+      if (idx < 0) return usage_error("unknown --pattern", v);
+      opts.gen.force_pattern = idx;
+    } else if (std::strcmp(a, "--coalescing") == 0) {
+      const char* v = next(a);
+      if (std::strcmp(v, "on") == 0) {
+        opts.gen.force_coalescing = 1;
+      } else if (std::strcmp(v, "off") == 0) {
+        opts.gen.force_coalescing = 0;
+      } else {
+        return usage_error("bad --coalescing (want on|off)", v);
+      }
     } else if (std::strcmp(a, "--trace") == 0) {
       opts.trace_path = next(a);
     } else if (std::strcmp(a, "--corpus-out") == 0) {
